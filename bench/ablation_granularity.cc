@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: modeling granularity — the paper's block-lumped RC model
+ * vs a grid-refined model (the future-work direction that became
+ * HotSpot).
+ *
+ * A per-benchmark average power profile drives both models to steady
+ * state. Reported per block: the lumped temperature, the grid model's
+ * mean/max cell temperature and the within-block gradient. Expected
+ * shape: the lumped model tracks the grid mean well, but within-block
+ * gradients of several tenths of a degree exist, and the grid max —
+ * what a worst-case-placed sensor should see — can sit above the
+ * lumped estimate for concentrated heaters next to cool neighbours.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "thermal/grid_model.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: block-lumped vs grid-refined thermal modeling",
+        "Section 4.2 (granularity of localized modeling; future work)");
+
+    const RunProtocol proto = bench::standardProtocol();
+
+    TextTable t;
+    t.setHeader({"benchmark", "block", "lumped (C)", "grid mean (C)",
+                 "grid max (C)", "in-block gradient (C)"});
+
+    for (const char *name : {"186.crafty", "191.fma3d"}) {
+        // Measure the average per-structure power of the benchmark.
+        SimConfig cfg;
+        cfg.workload = specProfile(name);
+        Simulator sim(cfg);
+        sim.warmUp(proto.warmup_cycles);
+        sim.run(proto.measure_cycles / 2);
+        PowerVector avg;
+        for (std::size_t i = 0; i < kNumStructures; ++i) {
+            avg.value[i] = sim.stats().power_sum.value[i]
+                / static_cast<double>(sim.stats().cycles);
+        }
+
+        // Drive both models to steady state under that power.
+        Floorplan fp(cfg.floorplan);
+        const double dt = cfg.power.tech.cycleSeconds();
+        SimplifiedRCModel lumped(fp, cfg.thermal, dt);
+        GridThermalModel grid(fp, cfg.thermal, dt, 0.5);
+        lumped.stepExact(avg, 4'000'000);
+        grid.stepSpan(avg, 4'000'000);
+
+        for (std::size_t i = 0; i < kNumHotspotStructures; ++i) {
+            const auto id = static_cast<StructureId>(i);
+            t.addRow({name, structureName(id),
+                      formatDouble(lumped.temperatures()[id], 2),
+                      formatDouble(grid.blockMean(id), 2),
+                      formatDouble(grid.blockMax(id), 2),
+                      formatDouble(grid.blockGradient(id), 2)});
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation (extension): temperature-dependent leakage power.
+ *
+ * At the paper's 0.18 um node leakage was negligible; at later nodes it
+ * becomes the dominant thermal feedback — leakage grows exponentially
+ * with temperature, so a hot structure leaks more and heats further.
+ * This bench quantifies the loop: the same benchmark is run with
+ * leakage off and at increasing reference fractions, reporting the
+ * extra steady-state temperature and the extra work DTM must do.
+ *
+ * Expected shape: each increment of the leakage fraction raises hot-spot
+ * temperatures super-linearly (the exponential closes the loop), no-DTM
+ * emergencies grow, and the PID controller compensates by holding a
+ * lower duty — until the clock-gating floor plus leakage exceeds what
+ * toggling can remove.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: temperature-dependent leakage feedback",
+        "extension (leakage; cf. the paper's Wong et al. citation)");
+
+    ExperimentRunner runner(bench::standardProtocol());
+    auto profile = specProfile("186.crafty");
+
+    TextTable t;
+    t.setHeader({"leakage @110C", "policy", "avg pwr (W)", "emerg %",
+                 "max T (C)", "mean duty"});
+
+    for (double frac : {0.0, 0.02, 0.04, 0.06}) {
+        SimConfig cfg;
+        cfg.power.leakage_enabled = frac > 0.0;
+        cfg.power.leakage_fraction_at_ref = frac;
+        // Reference the fraction at the operating point so the knob is
+        // directly interpretable.
+        cfg.power.leakage_ref_temp = 110.0;
+
+        for (auto kind : {DtmPolicyKind::None, DtmPolicyKind::PID}) {
+            DtmPolicySettings s;
+            s.kind = kind;
+            const auto r = runner.runOne(profile, s, cfg);
+            t.addRow({formatPercent(frac, 0), dtmPolicyKindName(kind),
+                      formatDouble(r.avg_power, 1),
+                      formatPercent(r.emergency_fraction, 2),
+                      formatDouble(r.max_temperature, 2),
+                      formatDouble(r.mean_duty, 2)});
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (paper Section 5.3 future work): sensitivity of the PID
+ * CT-DTM scheme to the controller sampling interval. The paper samples
+ * every 1000 cycles and conjectures that "a longer sampling interval
+ * [could be used] without significantly affecting accuracy, since the
+ * thermal time constants are ... much greater than 667 nanosec."
+ *
+ * Expected shape: performance and safety are flat across a wide range
+ * of intervals, degrading only when the interval becomes a significant
+ * fraction of the block thermal time constants (~10^5 cycles).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: controller sampling interval (PID on crafty)",
+        "Section 5.3 (sampling-interval conjecture)");
+
+    ExperimentRunner runner(bench::standardProtocol());
+    auto profile = specProfile("186.crafty");
+
+    DtmPolicySettings none;
+    none.kind = DtmPolicyKind::None;
+    const auto base = runner.runOne(profile, none);
+
+    TextTable t;
+    t.setHeader({"interval (cycles)", "% of base IPC", "emerg %",
+                 "max T (C)", "mean duty"});
+    for (Cycle interval : {250u, 500u, 1000u, 2000u, 4000u, 8000u,
+                           16000u, 32000u}) {
+        SimConfig cfg;
+        cfg.dtm.sample_interval = interval;
+        DtmPolicySettings s;
+        s.kind = DtmPolicyKind::PID;
+        const auto r = runner.runOne(profile, s, cfg);
+        t.addRow({std::to_string(interval),
+                  formatPercent(r.ipc / base.ipc, 1),
+                  formatPercent(r.emergency_fraction, 3),
+                  formatDouble(r.max_temperature, 2),
+                  formatDouble(r.mean_duty, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation (the paper's stated future work): non-ideal temperature
+ * sensors. The paper assumes an idealized sensor per block; here the
+ * PID scheme runs with static offsets, Gaussian noise, and quantized
+ * readings.
+ *
+ * Expected shape: a sensor that reads low (negative offset) erodes the
+ * 0.2 C safety margin and lets emergencies through; one that reads
+ * high wastes performance; moderate zero-mean noise mostly averages out
+ * through the integral term but fuzzes the margin; quantization coarser
+ * than the margin breaks the tight-setpoint scheme.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader("Ablation: temperature-sensor non-idealities "
+                       "(PID on apsi)",
+                       "Section 4.2 (sensor modeling, future work)");
+
+    ExperimentRunner runner(bench::standardProtocol());
+    auto profile = specProfile("301.apsi");
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    const auto base = runner.runOne(profile, s);
+    s.kind = DtmPolicyKind::PID;
+
+    TextTable t;
+    t.setHeader({"sensor model", "% of base IPC", "emerg %",
+                 "max T (C)"});
+
+    auto run_with = [&](const std::string &label, SensorConfig sensor) {
+        SimConfig cfg;
+        cfg.dtm.sensor = sensor;
+        const auto r = runner.runOne(profile, s, cfg);
+        t.addRow({label, formatPercent(r.ipc / base.ipc, 1),
+                  formatPercent(r.emergency_fraction, 3),
+                  formatDouble(r.max_temperature, 2)});
+    };
+
+    run_with("ideal (paper)", SensorConfig{});
+    run_with("offset -0.3 C (reads cool)",
+             SensorConfig{.offset = -0.3});
+    run_with("offset +0.3 C (reads hot)", SensorConfig{.offset = 0.3});
+    run_with("noise sigma 0.05 C", SensorConfig{.noise_sigma = 0.05});
+    run_with("noise sigma 0.2 C", SensorConfig{.noise_sigma = 0.2});
+    run_with("quantized 0.25 C", SensorConfig{.quantum = 0.25});
+    run_with("quantized 1.0 C", SensorConfig{.quantum = 1.0});
+
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "workload/spec_profiles.hh"
+
+namespace thermctl::bench
+{
+
+RunProtocol
+standardProtocol()
+{
+    RunProtocol proto;
+    const char *fast = std::getenv("THERMCTL_FAST");
+    if (fast && fast[0] == '1') {
+        proto.warmup_cycles = 120000;
+        proto.measure_cycles = 300000;
+    } else {
+        proto.warmup_cycles = 300000;
+        proto.measure_cycles = 1000000;
+    }
+    return proto;
+}
+
+std::vector<RunResult>
+characterizeAll()
+{
+    ExperimentRunner runner(standardProtocol());
+    DtmPolicySettings none;
+    none.kind = DtmPolicyKind::None;
+    return runner.runAll(allSpecProfiles(), none);
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "==================================================="
+                 "=========================\n"
+              << title << "\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "(Skadron, Abdelzaher & Stan, HPCA 2002 — see "
+                 "EXPERIMENTS.md for the comparison)\n"
+              << "==================================================="
+                 "=========================\n";
+}
+
+} // namespace thermctl::bench

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction binaries: the
+ * standard run protocol (overridable via THERMCTL_FAST=1 for quick
+ * smoke runs), and the characterization sweep reused by Tables 4-8.
+ */
+
+#ifndef THERMCTL_BENCH_BENCH_UTIL_HH
+#define THERMCTL_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace thermctl::bench
+{
+
+/** Standard protocol (honours THERMCTL_FAST=1). */
+RunProtocol standardProtocol();
+
+/** Run all 18 benchmarks with no DTM under the standard protocol. */
+std::vector<RunResult> characterizeAll();
+
+/** Print the standard header naming the experiment. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+} // namespace thermctl::bench
+
+#endif // THERMCTL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's headline evaluation (Section 7 figures): per-benchmark
+ * performance of every DTM technique as a percentage of the non-DTM
+ * IPC, together with the fraction of cycles spent in thermal emergency.
+ *
+ * Expected shape (paper):
+ *  - every technique except toggle2 eliminates thermal emergencies;
+ *  - the fixed-response toggle1 loses by far the most performance;
+ *  - the hand-built proportional "M" improves on toggle1;
+ *  - CT-DTM PI and PID, with their trigger only 0.2 C below the
+ *    emergency threshold, recover most of the loss — ~65% less
+ *    performance lost than toggle1 on average.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "DTM evaluation: % of non-DTM IPC and emergency cycles, "
+        "per technique",
+        "Section 7 figures (performance of TM techniques)");
+
+    ExperimentRunner runner(bench::standardProtocol());
+
+    const DtmPolicyKind policies[] = {
+        DtmPolicyKind::Toggle1, DtmPolicyKind::Toggle2,
+        DtmPolicyKind::Manual, DtmPolicyKind::P, DtmPolicyKind::PI,
+        DtmPolicyKind::PID,
+    };
+
+    TextTable t;
+    std::vector<std::string> header = {"benchmark", "base IPC"};
+    for (auto kind : policies) {
+        header.push_back(std::string(dtmPolicyKindName(kind)) + " %");
+        header.push_back(std::string(dtmPolicyKindName(kind)) + " em%");
+    }
+    t.setHeader(header);
+
+    std::map<DtmPolicyKind, double> loss_sum;
+    std::map<DtmPolicyKind, double> emerg_sum;
+    int counted = 0;
+
+    for (const auto &profile : allSpecProfiles()) {
+        DtmPolicySettings s;
+        s.kind = DtmPolicyKind::None;
+        const auto base = runner.runOne(profile, s);
+
+        std::vector<std::string> row = {profile.name,
+                                        formatDouble(base.ipc, 2)};
+        const bool thermally_active = base.stress_fraction > 0.01;
+        if (thermally_active)
+            ++counted;
+        for (auto kind : policies) {
+            s.kind = kind;
+            const auto r = runner.runOne(profile, s);
+            const double rel = base.ipc > 0 ? r.ipc / base.ipc : 1.0;
+            row.push_back(formatPercent(rel, 1));
+            row.push_back(formatPercent(r.emergency_fraction, 2));
+            if (thermally_active) {
+                loss_sum[kind] += 1.0 - rel;
+                emerg_sum[kind] += r.emergency_fraction;
+            }
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nMean performance loss over thermally active "
+                 "benchmarks (" << counted << " of 18):\n";
+    for (auto kind : policies) {
+        std::cout << "  " << dtmPolicyKindName(kind) << ": "
+                  << formatPercent(loss_sum[kind] / counted, 1)
+                  << " loss, mean emergency "
+                  << formatPercent(emerg_sum[kind] / counted, 3) << "\n";
+    }
+
+    const double t1 = loss_sum[DtmPolicyKind::Toggle1];
+    const double pid = loss_sum[DtmPolicyKind::PID];
+    const double pi = loss_sum[DtmPolicyKind::PI];
+    if (t1 > 0.0) {
+        std::cout << "\nHEADLINE — reduction in DTM performance loss vs "
+                     "toggle1: PI "
+                  << formatPercent(1.0 - pi / t1, 0) << ", PID "
+                  << formatPercent(1.0 - pid / t1, 0)
+                  << " (paper: 65%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper Section 2.1: "a realistic implementation might employ a
+ * hierarchy of TM techniques: for example, a low-cost mechanism like
+ * toggling might be used with a high trigger threshold. Only when
+ * temperature gets truly close to emergency would auxiliary mechanisms
+ * like voltage/frequency scaling be employed."
+ *
+ * Scenario: degraded cooling (base temperature risen from 108.0 to
+ * 110.2 C — a failing fan or hot ambient). Fetch toggling saturates:
+ * even with fetch fully off, the 10% conditional-clocking floor keeps
+ * the hottest structure above the emergency level, so PID toggling
+ * alone cannot protect the chip. The hierarchical policy's V/f backup
+ * (engaging only above 111.75 C) cuts the floor power by ~2x in
+ * voltage-squared and restores safety. Under normal cooling the backup
+ * never engages and the hierarchical policy behaves exactly like PID.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Hierarchical DTM: PID toggling with a V/f scaling backup",
+        "Section 2.1 (hierarchy of TM techniques)");
+
+    ExperimentRunner runner(bench::standardProtocol());
+    auto profile = specProfile("301.apsi");
+
+    TextTable t;
+    t.setHeader({"cooling", "policy", "perf (wall-norm.)", "% of base",
+                 "emerg %", "max T (C)"});
+
+    for (Celsius t_base : {108.0, 110.2}) {
+        SimConfig cfg;
+        cfg.thermal.t_base = t_base;
+
+        DtmPolicySettings s;
+        s.kind = DtmPolicyKind::None;
+        const auto base = runner.runOne(profile, s, cfg);
+
+        const std::string label = t_base == 108.0
+            ? "normal (108.0)"
+            : "degraded (110.2)";
+        for (auto kind : {DtmPolicyKind::PID, DtmPolicyKind::VfScale,
+                          DtmPolicyKind::Hierarchical}) {
+            s.kind = kind;
+            const auto r = runner.runOne(profile, s, cfg);
+            t.addRow({label, dtmPolicyKindName(kind),
+                      formatDouble(r.ipc, 3),
+                      formatPercent(r.ipc / base.ipc, 1),
+                      formatPercent(r.emergency_fraction, 2),
+                      formatDouble(r.max_temperature, 2)});
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+    std::cout << "\n(under degraded cooling, toggling saturates at its "
+                 "clock-gating floor and PID\nalone cannot stay below "
+                 "emergency; the hierarchical backup engages scaling "
+                 "only\nwhen 'truly close to emergency' and restores "
+                 "safety at far lower cost than\nscaling everything "
+                 "all the time)\n";
+    return 0;
+}

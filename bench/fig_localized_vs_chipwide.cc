@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Paper Sections 4.2/6 motivation figure: localized heating is orders
+ * of magnitude faster than chip-wide heating.
+ *
+ * A power step is applied and the time for each thermal node to cover
+ * 63% (one time constant) of its rise is reported: blocks respond in
+ * tens to hundreds of microseconds, the chip+heatsink in tens of
+ * seconds — a ratio of ~10^5, which is why chip-wide measurements
+ * cannot protect against local hot spots.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "sim/config.hh"
+#include "thermal/rc_model.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Localized vs chip-wide heating speed under a power step",
+        "Sections 4.2 and 6 (motivation)");
+
+    const SimConfig cfg;
+    Floorplan fp(cfg.floorplan);
+    const double dt = cfg.power.tech.cycleSeconds();
+    SimplifiedRCModel model(fp, cfg.thermal, dt);
+
+    // Step: every block dissipates a fixed power density of 0.5 W/mm^2.
+    PowerVector step;
+    for (StructureId id : kAllStructures)
+        step[id] = 0.5 * fp.block(id).area_m2 * 1e6;
+
+    TextTable t;
+    t.setHeader({"node", "time to 63% of rise", "cycles @1.5GHz"});
+
+    for (std::size_t i = 0; i < kNumHotspotStructures; ++i) {
+        const auto id = static_cast<StructureId>(i);
+        const double target = cfg.thermal.t_base
+            + (1.0 - 1.0 / M_E)
+                  * (model.steadyState(id, step[id]) - cfg.thermal.t_base);
+        SimplifiedRCModel m(fp, cfg.thermal, dt);
+        std::uint64_t cycles = 0;
+        while (m.temperatures()[id] < target && cycles < 100'000'000) {
+            m.stepExact(step, 1000);
+            cycles += 1000;
+        }
+        t.addRow({structureName(id),
+                  formatDouble(units::sToUs(cycles * dt), 1) + " us",
+                  std::to_string(cycles)});
+    }
+
+    // Chip-level node under total chip power.
+    ChipLevelModel chip(cfg.floorplan, cfg.floorplan.ambient, dt);
+    const double total = step.total();
+    const double chip_target = cfg.floorplan.ambient
+        + (1.0 - 1.0 / M_E) * total * cfg.floorplan.chip_resistance;
+    double chip_seconds = 0.0;
+    while (chip.temperature() < chip_target && chip_seconds < 1000.0) {
+        chip.stepExact(total, static_cast<std::uint64_t>(0.01 / dt));
+        chip_seconds += 0.01;
+    }
+    t.addRule();
+    t.addRow({"chip + heatsink",
+              formatDouble(chip_seconds, 2) + " s",
+              std::to_string(static_cast<std::uint64_t>(
+                  chip_seconds / dt))});
+    t.print(std::cout);
+
+    std::cout << "\nratio chip/block time constants: ~"
+              << formatSci(chip_seconds
+                               / (fp.block(StructureId::Window).rc()),
+                           1)
+              << "x (paper: orders of magnitude)\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Paper Section 2.1: microarchitectural techniques vs voltage/frequency
+ * scaling as the DTM response.
+ *
+ * Expected shape: scaling eliminates emergencies (power falls roughly
+ * with s*V^2), but the whole processor runs slower for as long as the
+ * policy is engaged, and each transition stalls the pipeline while the
+ * clock resynchronizes — so its performance cost exceeds the
+ * fine-grained microarchitectural techniques, which is why the paper
+ * (following Brooks & Martonosi) prefers toggling with scaling at most
+ * as a backup.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Voltage/frequency scaling vs microarchitectural DTM",
+        "Section 2.1 (scaling techniques)");
+
+    ExperimentRunner runner(bench::standardProtocol());
+
+    TextTable t;
+    t.setHeader({"benchmark", "policy", "perf (wall-clock norm.)",
+                 "% of base", "emerg %", "max T (C)"});
+
+    for (const char *name : {"186.crafty", "301.apsi", "177.mesa"}) {
+        auto profile = specProfile(name);
+        DtmPolicySettings s;
+        s.kind = DtmPolicyKind::None;
+        const auto base = runner.runOne(profile, s);
+
+        for (auto kind : {DtmPolicyKind::VfScale, DtmPolicyKind::Toggle1,
+                          DtmPolicyKind::PID}) {
+            s.kind = kind;
+            const auto r = runner.runOne(profile, s);
+            t.addRow({profile.name, dtmPolicyKindName(kind),
+                      formatDouble(r.ipc, 3),
+                      formatPercent(r.ipc / base.ipc, 1),
+                      formatPercent(r.emergency_fraction, 2),
+                      formatDouble(r.max_temperature, 2)});
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+    std::cout << "\n(performance is committed instructions per nominal "
+                 "clock period of wall time,\nso the slower scaled clock "
+                 "and its resynchronization stalls are charged)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Paper Section 2.2, made concrete: "controllers can be designed with
+ * guaranteed settling times ... and an analysis of the maximum
+ * overshoot can be used to choose a setpoint that is as high as
+ * possible without risking an actual emergency."
+ *
+ * For each controller family the analysis computes the worst-case
+ * overshoot (setpoint approach + full-scale workload surge) and derives
+ * the highest safe setpoint below the 111.8 C emergency level; the
+ * derived setpoint is then validated in full simulation on the hottest
+ * benchmark. Expected shape: PI/PID admit a setpoint within a few
+ * tenths of a degree of the emergency level (the paper uses 111.6), the
+ * P controller needs more room, and the simulation confirms zero
+ * emergencies at the derived setpoints.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "control/analysis.hh"
+#include "sim/simulator.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Analytic setpoint selection from worst-case overshoot",
+        "Section 2.2 (overshoot analysis -> setpoint choice)");
+
+    SimConfig cfg;
+    cfg.workload = specProfile("301.apsi");
+    Simulator probe(cfg);
+    const FopdtPlant plant = probe.dtmPlant();
+    const Celsius t_base = cfg.thermal.t_base;
+    const Celsius t_emerg = cfg.thermal.t_emergency;
+
+    ExperimentRunner runner(bench::standardProtocol());
+    DtmPolicySettings none;
+    none.kind = DtmPolicyKind::None;
+    const auto base = runner.runOne(cfg.workload, none);
+
+    TextTable t;
+    t.setHeader({"controller", "worst-case overshoot",
+                 "derived setpoint (C)", "sim emerg %", "sim max T (C)",
+                 "% of base IPC"});
+
+    const std::pair<ControllerKind, DtmPolicyKind> kinds[] = {
+        {ControllerKind::P, DtmPolicyKind::P},
+        {ControllerKind::PI, DtmPolicyKind::PI},
+        {ControllerKind::PID, DtmPolicyKind::PID},
+    };
+    for (auto [ck, pk] : kinds) {
+        PidConfig pid = tuneLoopShaping(ck, plant);
+        pid.dt = static_cast<double>(cfg.dtm.sample_interval)
+            * cfg.power.tech.cycleSeconds();
+        const double overshoot = worstCaseOvershoot(pid, plant);
+        const Celsius setpoint =
+            chooseSafeSetpoint(pid, plant, t_base, t_emerg, 0.05);
+
+        // Validate in full simulation at the derived setpoint.
+        DtmPolicySettings s;
+        s.kind = pk;
+        if (pk == DtmPolicyKind::P) {
+            s.p_setpoint = setpoint;
+            s.p_range_low = setpoint - 0.4;
+        } else {
+            s.ct_setpoint = setpoint;
+            s.ct_range_low = setpoint - 0.2;
+        }
+        const auto r = runner.runOne(cfg.workload, s);
+
+        t.addRow({controllerKindName(ck),
+                  formatPercent(overshoot, 2),
+                  formatDouble(setpoint, 2),
+                  formatPercent(r.emergency_fraction, 3),
+                  formatDouble(r.max_temperature, 2),
+                  formatPercent(r.ipc / base.ipc, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(paper's hand-chosen setpoints: 111.2 for P, 111.6 "
+                 "for PI/PID)\n";
+    return 0;
+}

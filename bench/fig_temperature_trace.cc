@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Temperature-versus-time traces of the hottest structure under no DTM,
+ * toggle1 and PID on a hot benchmark (paper Section 7's behavioural
+ * discussion). Printed as aligned columns (cycle, one column per
+ * policy) plus an ASCII strip chart of the PID trace.
+ *
+ * Expected shape: without DTM the structure rides above the emergency
+ * line; toggle1 saw-tooths far below the trigger (over-cooling = lost
+ * performance); PID pins the temperature at the 111.6 setpoint without
+ * ever crossing 111.8.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+namespace
+{
+
+std::vector<double>
+trace(DtmPolicyKind kind, std::uint64_t cycles, Cycle stride)
+{
+    SimConfig cfg;
+    cfg.workload = specProfile("186.crafty");
+    cfg.policy.kind = kind;
+    Simulator sim(cfg);
+    std::vector<double> samples;
+    sim.setProbe(
+        [&](const Simulator &s, Cycle) {
+            samples.push_back(s.thermal().temperatures().maxHotspot());
+        },
+        stride);
+    sim.warmUp(300000);
+    sim.run(cycles);
+    return samples;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Temperature trace of the hottest structure: none / toggle1 / "
+        "PID on crafty",
+        "Section 7 (controller behaviour over time)");
+
+    const std::uint64_t cycles = 400000;
+    const Cycle stride = 8000;
+    auto none = trace(DtmPolicyKind::None, cycles, stride);
+    auto t1 = trace(DtmPolicyKind::Toggle1, cycles, stride);
+    auto pid = trace(DtmPolicyKind::PID, cycles, stride);
+
+    TextTable t;
+    t.setHeader({"cycle", "none (C)", "toggle1 (C)", "PID (C)"});
+    for (std::size_t i = 0; i < none.size(); ++i) {
+        t.addRow({std::to_string((i + 1) * stride),
+                  formatDouble(none[i], 3), formatDouble(t1[i], 3),
+                  formatDouble(pid[i], 3)});
+    }
+    t.print(std::cout);
+
+    const SimConfig cfg;
+    std::cout << "\nPID strip chart (" << formatDouble(110.5, 1) << " .. "
+              << formatDouble(112.0, 1) << " C; '!' = emergency "
+              << formatDouble(cfg.thermal.t_emergency, 1)
+              << ", '|' = setpoint "
+              << formatDouble(cfg.policy.ct_setpoint, 1) << "):\n";
+    for (std::size_t i = 0; i < pid.size(); ++i) {
+        const double lo = 110.5, hi = 112.0;
+        const int width = 60;
+        int pos = static_cast<int>((pid[i] - lo) / (hi - lo) * width);
+        pos = std::clamp(pos, 0, width - 1);
+        const int sp = static_cast<int>(
+            (cfg.policy.ct_setpoint - lo) / (hi - lo) * width);
+        const int em = static_cast<int>(
+            (cfg.thermal.t_emergency - lo) / (hi - lo) * width);
+        std::string line(width, ' ');
+        line[sp] = '|';
+        line[em] = '!';
+        line[pos] = '*';
+        std::cout << "  " << line << "\n";
+    }
+
+    double max_pid = 0.0;
+    for (double v : pid)
+        max_pid = std::max(max_pid, v);
+    std::cout << "\nmax PID temperature: " << formatDouble(max_pid, 3)
+              << " C (emergency "
+              << formatDouble(cfg.thermal.t_emergency, 1) << " C)\n";
+    return max_pid > cfg.thermal.t_emergency ? 1 : 0;
+}

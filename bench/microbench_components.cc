@@ -1,0 +1,167 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core components: the cost of
+ * one simulated cycle and of each model that runs inside it. These
+ * bound the wall-clock cost of the table/figure reproductions (the
+ * paper's grid is hundreds of millions of simulated cycles).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/hybrid.hh"
+#include "cache/cache.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "control/pid.hh"
+#include "power/model.hh"
+#include "sim/simulator.hh"
+#include "thermal/rc_model.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synthetic.hh"
+
+using namespace thermctl;
+
+namespace
+{
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_BoxcarAdd(benchmark::State &state)
+{
+    BoxcarAverage box(static_cast<std::size_t>(state.range(0)));
+    double x = 0.0;
+    for (auto _ : state) {
+        box.add(x);
+        x += 0.25;
+        benchmark::DoNotOptimize(box.average());
+    }
+}
+BENCHMARK(BM_BoxcarAdd)->Arg(10000)->Arg(500000);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{.name = "l1", .size_bytes = 64 * 1024,
+                            .assoc = 2, .block_bytes = 32,
+                            .hit_latency = 1});
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(256 * 1024), false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PredictorRoundTrip(benchmark::State &state)
+{
+    HybridPredictor pred;
+    MicroOp op;
+    op.pc = 0x1000;
+    op.op = OpClass::Branch;
+    op.is_branch = true;
+    op.is_conditional = true;
+    op.taken = true;
+    op.target = 0x2000;
+    for (auto _ : state) {
+        auto p = pred.predict(op);
+        pred.resolve(op, p);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_PredictorRoundTrip);
+
+void
+BM_ThermalStep(benchmark::State &state)
+{
+    Floorplan fp;
+    ThermalConfig cfg;
+    SimplifiedRCModel model(fp, cfg, 1.0 / 1.5e9);
+    PowerVector p;
+    p.value.fill(1.5);
+    for (auto _ : state) {
+        model.step(p);
+        benchmark::DoNotOptimize(model.temperatures());
+    }
+}
+BENCHMARK(BM_ThermalStep);
+
+void
+BM_PidUpdate(benchmark::State &state)
+{
+    PidConfig cfg;
+    cfg.kp = 2.0;
+    cfg.ki = 1e5;
+    cfg.kd = 1e-6;
+    cfg.setpoint = 111.6;
+    cfg.dt = 667e-9;
+    PidController pid(cfg);
+    double t = 111.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pid.update(t));
+        t = 111.0 + 0.5 * (t - 111.0);
+    }
+}
+BENCHMARK(BM_PidUpdate);
+
+void
+BM_PowerCycle(benchmark::State &state)
+{
+    PowerModel pm(PowerConfig{}, CpuConfig{}, MemoryHierarchyConfig{});
+    CpuActivity act;
+    act.int_alu_ops = 3;
+    act.l1d_accesses = 2;
+    act.dispatched_ops = 4;
+    act.regfile_reads = 6;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pm.cyclePower(act));
+}
+BENCHMARK(BM_PowerCycle);
+
+void
+BM_CoreTick(benchmark::State &state)
+{
+    SyntheticWorkload wl(specProfile("186.crafty"));
+    MemoryHierarchy mem;
+    Core core(CpuConfig{}, wl, mem);
+    for (auto _ : state)
+        core.tick();
+    state.counters["IPC"] = core.stats().ipc();
+}
+BENCHMARK(BM_CoreTick);
+
+void
+BM_SimulatorTick(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.workload = specProfile("186.crafty");
+    cfg.policy.kind = DtmPolicyKind::PID;
+    Simulator sim(cfg);
+    for (auto _ : state)
+        sim.tick();
+    state.counters["kcycles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) / 1000.0,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorTick);
+
+void
+BM_WorkloadNext(benchmark::State &state)
+{
+    SyntheticWorkload wl(specProfile("176.gcc"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wl.next());
+}
+BENCHMARK(BM_WorkloadNext);
+
+} // namespace
+
+BENCHMARK_MAIN();

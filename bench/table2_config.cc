@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Paper Table 2: configuration of the simulated processor
+ * microarchitecture. Printed from the live configuration structs so the
+ * table is guaranteed to match what every other experiment simulates.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/config.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader("Table 2: simulated processor configuration",
+                       "Table 2");
+
+    const SimConfig cfg;
+    const auto &cpu = cfg.cpu;
+    const auto &mem = cfg.memory;
+    const auto &tech = cfg.power.tech;
+
+    TextTable t;
+    t.setHeader({"parameter", "value"});
+    t.addRow({"technology", formatDouble(tech.feature_um, 2) + " um, "
+                                + formatDouble(tech.vdd, 1) + " V, "
+                                + formatDouble(tech.freq_hz / 1e9, 1)
+                                + " GHz"});
+    t.addRule();
+    t.addRow({"instruction window",
+              std::to_string(cpu.window_size) + "-RUU, "
+                  + std::to_string(cpu.lsq_size) + "-LSQ"});
+    t.addRow({"issue width",
+              std::to_string(cpu.int_issue_width + cpu.fp_issue_width)
+                  + " per cycle (" + std::to_string(cpu.int_issue_width)
+                  + " Int, " + std::to_string(cpu.fp_issue_width)
+                  + " FP)"});
+    t.addRow({"functional units",
+              std::to_string(cpu.num_int_alu) + " IntALU, "
+                  + std::to_string(cpu.num_int_mult) + " IntMult/Div, "
+                  + std::to_string(cpu.num_fp_alu) + " FPALU, "
+                  + std::to_string(cpu.num_fp_mult) + " FPMult/Div, "
+                  + std::to_string(cpu.num_mem_ports) + " mem ports"});
+    t.addRow({"fetch / dispatch / commit",
+              std::to_string(cpu.fetch_width) + " / "
+                  + std::to_string(cpu.dispatch_width) + " / "
+                  + std::to_string(cpu.commit_width)});
+    t.addRow({"extra rename/enqueue stages",
+              std::to_string(cpu.frontend_depth - 2)
+                  + " (between decode and issue)"});
+    t.addRule();
+    auto cache_row = [&](const char *label, const CacheConfig &c) {
+        t.addRow({label,
+                  std::to_string(c.size_bytes / 1024) + " KB, "
+                      + std::to_string(c.assoc) + "-way LRU, "
+                      + std::to_string(c.block_bytes) + " B blocks, "
+                      + std::to_string(c.hit_latency)
+                      + "-cycle latency"});
+    };
+    cache_row("L1 D-cache", mem.l1d);
+    cache_row("L1 I-cache", mem.l1i);
+    t.addRow({"L2 unified",
+              std::to_string(mem.l2.size_bytes / 1024 / 1024) + " MB, "
+                  + std::to_string(mem.l2.assoc) + "-way LRU, "
+                  + std::to_string(mem.l2.block_bytes) + " B blocks, "
+                  + std::to_string(mem.l2.hit_latency)
+                  + "-cycle latency, WB"});
+    t.addRow({"memory",
+              std::to_string(mem.memory_latency) + " cycles"});
+    t.addRow({"TLB",
+              std::to_string(mem.tlb.entries) + "-entry, fully assoc., "
+                  + std::to_string(mem.tlb.miss_penalty)
+                  + "-cycle miss penalty"});
+    t.addRule();
+    const auto &bp = cpu.bpred;
+    t.addRow({"branch predictor",
+              "hybrid: " + std::to_string(bp.bimod_entries / 1024)
+                  + "K bimod + " + std::to_string(bp.gag_entries / 1024)
+                  + "K/" + std::to_string(bp.gag_history_bits)
+                  + "-bit GAg, "
+                  + std::to_string(bp.chooser_entries / 1024)
+                  + "K bimod-style chooser"});
+    t.addRow({"branch target buffer",
+              std::to_string(bp.btb_entries / 1024) + "K-entry, "
+                  + std::to_string(bp.btb_ways) + "-way"});
+    t.addRow({"return-address stack",
+              std::to_string(bp.ras_entries) + "-entry"});
+
+    t.print(std::cout);
+    return 0;
+}

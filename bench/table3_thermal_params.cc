@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Paper Table 3: per-structure area, peak power, thermal R, thermal C
+ * and RC time constant, plus the chip-wide row.
+ *
+ * The areas are the paper's; R and C are derived from the silicon
+ * material properties of Section 4.3 (C = c_si*A*t, R = k*rho_si*t/A;
+ * the spreading factors k are the documented calibration — see
+ * FloorplanConfig). The expected shape: block RCs of tens to hundreds
+ * of microseconds vs. a chip-wide RC of tens of seconds.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "power/model.hh"
+#include "sim/config.hh"
+#include "thermal/floorplan.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 3: per-structure area and thermal-R/C estimates",
+        "Table 3");
+
+    const SimConfig cfg;
+    Floorplan fp(cfg.floorplan);
+    PowerModel pm(cfg.power, cfg.cpu, cfg.memory);
+
+    TextTable t;
+    t.setHeader({"structure", "area (m^2)", "peak power (W)", "R (K/W)",
+                 "C (J/K)", "RC (us)"});
+    for (std::size_t i = 0; i < kNumHotspotStructures; ++i) {
+        const auto id = static_cast<StructureId>(i);
+        const auto &blk = fp.block(id);
+        t.addRow({structureName(id), formatSci(blk.area_m2, 1),
+                  formatDouble(pm.peak()[id], 1),
+                  formatDouble(blk.resistance, 2),
+                  formatSci(blk.capacitance, 2),
+                  formatDouble(units::sToUs(blk.rc()), 0)});
+    }
+    t.addRule();
+    const auto &f = cfg.floorplan;
+    t.addRow({"chip (w/ heatsink)", formatSci(fp.dieAreaMm2() * 1e-6, 1),
+              formatDouble(pm.peak().total(), 1),
+              formatDouble(f.chip_resistance, 2),
+              formatDouble(f.chip_capacitance, 0),
+              formatDouble(
+                  units::sToUs(f.chip_resistance * f.chip_capacitance),
+                  0) + " (= "
+                  + formatDouble(f.chip_resistance * f.chip_capacitance,
+                                 1)
+                  + " s)"});
+    t.print(std::cout);
+
+    std::cout << "\nTangential (block-to-block) resistances — the paper's"
+                 " argument for ignoring them:\n";
+    TextTable tt;
+    tt.setHeader({"pair", "R_tan (K/W)", "R_tan / max(R_norm)"});
+    for (const auto &tan : fp.tangential()) {
+        const double rn = std::max(fp.block(tan.a).resistance,
+                                   fp.block(tan.b).resistance);
+        tt.addRow({std::string(structureName(tan.a)) + "-"
+                       + structureName(tan.b),
+                   formatDouble(tan.resistance, 0),
+                   formatDouble(tan.resistance / rn, 0) + "x"});
+    }
+    tt.print(std::cout);
+    return 0;
+}

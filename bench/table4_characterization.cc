@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Paper Table 4: average IPC, power and temperature characteristics for
+ * each benchmark without thermal management, plus the fraction of
+ * cycles above the emergency threshold and above the stress level
+ * (emergency - 1).
+ *
+ * "Avg temp" follows the paper's convention: ambient 27 C plus the
+ * chip-wide thermal R (0.34 K/W) times average power. The emergency /
+ * stress percentages use the per-structure RC model with the heatsink
+ * risen to its loaded base temperature.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/config.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 4: per-benchmark IPC / power / thermal characteristics",
+        "Table 4");
+
+    const SimConfig cfg;
+    auto results = bench::characterizeAll();
+
+    TextTable t;
+    t.setHeader({"benchmark", "avg IPC", "avg pwr (W)", "avg temp (C)",
+                 "% above " + formatDouble(cfg.thermal.t_emergency, 1),
+                 "% above " + formatDouble(cfg.thermal.stressLevel(), 1)});
+    for (const auto &r : results) {
+        const double avg_temp = cfg.floorplan.ambient
+            + cfg.floorplan.chip_resistance * r.avg_power;
+        t.addRow({r.benchmark, formatDouble(r.ipc, 2),
+                  formatDouble(r.avg_power, 1),
+                  formatDouble(avg_temp, 1),
+                  formatPercent(r.emergency_fraction, 2),
+                  formatPercent(r.stress_fraction, 1)});
+    }
+    t.print(std::cout);
+
+    int with_emergencies = 0;
+    for (const auto &r : results)
+        with_emergencies += r.emergency_fraction > 0.001;
+    std::cout << "\nBenchmarks experiencing actual thermal emergencies: "
+              << with_emergencies << " (paper: eight)\n";
+    return 0;
+}

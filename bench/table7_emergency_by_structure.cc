@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Paper Table 7: percentage of cycles each individual structure spends
+ * above the emergency threshold, per benchmark (no DTM).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "power/structures.hh"
+#include "sim/config.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    const SimConfig cfg;
+    bench::printHeader(
+        "Table 7: % cycles above the emergency threshold ("
+            + formatDouble(cfg.thermal.t_emergency, 1)
+            + " C), by structure",
+        "Table 7");
+
+    auto results = bench::characterizeAll();
+
+    TextTable t;
+    std::vector<std::string> header = {"benchmark", "any"};
+    for (std::size_t i = 0; i < kNumHotspotStructures; ++i)
+        header.push_back(structureName(static_cast<StructureId>(i)));
+    t.setHeader(header);
+
+    for (const auto &r : results) {
+        std::vector<std::string> row = {
+            r.benchmark, formatPercent(r.emergency_fraction, 2)};
+        for (std::size_t i = 0; i < kNumHotspotStructures; ++i)
+            row.push_back(
+                formatPercent(r.structures[i].emergency_fraction, 2));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Paper Table 8: percentage of cycles each individual structure spends
+ * above the thermal-stress level (one degree below emergency), per
+ * benchmark (no DTM). Programs like mesa/facerec/eon/vortex spend most
+ * of their time here without ever reaching emergency — the group the
+ * paper says a good DTM scheme must not penalize.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "power/structures.hh"
+#include "sim/config.hh"
+
+using namespace thermctl;
+
+int
+main()
+{
+    const SimConfig cfg;
+    bench::printHeader(
+        "Table 8: % cycles above the stress level ("
+            + formatDouble(cfg.thermal.stressLevel(), 1)
+            + " C), by structure",
+        "Table 8");
+
+    auto results = bench::characterizeAll();
+
+    TextTable t;
+    std::vector<std::string> header = {"benchmark", "any"};
+    for (std::size_t i = 0; i < kNumHotspotStructures; ++i)
+        header.push_back(structureName(static_cast<StructureId>(i)));
+    t.setHeader(header);
+
+    for (const auto &r : results) {
+        std::vector<std::string> row = {
+            r.benchmark, formatPercent(r.stress_fraction, 1)};
+        for (std::size_t i = 0; i < kNumHotspotStructures; ++i)
+            row.push_back(
+                formatPercent(r.structures[i].stress_fraction, 1));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: configure, build, test, and regenerate every
+# paper table/figure. Outputs land in test_output.txt and bench_output.txt
+# at the repository root.
+#
+# Usage:
+#   scripts/reproduce.sh            # full protocol (~30-45 min single-core)
+#   THERMCTL_FAST=1 scripts/reproduce.sh   # quick smoke sweep (~5 min)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        [ -x "$b" ] && [ -f "$b" ] || continue
+        echo "===== $(basename "$b") ====="
+        "$b"
+        echo "exit=$?"
+        echo
+    done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt, bench_output.txt and EXPERIMENTS.md"

@@ -1,0 +1,34 @@
+#include "branch/bimodal.hh"
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries, Counter2(1)), mask_(entries - 1)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal("BimodalPredictor size must be a power of two, got ", entries);
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    // Drop the 2 alignment bits; fold upper bits in for spread.
+    return ((pc >> 2) ^ (pc >> 15)) & mask_;
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return table_[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    table_[index(pc)].train(taken);
+}
+
+} // namespace thermctl

@@ -1,0 +1,71 @@
+#include "branch/btb.hh"
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+BranchTargetBuffer::BranchTargetBuffer(std::size_t entries, std::size_t ways)
+    : ways_(ways)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal("BTB entries must be a power of two, got ", entries);
+    if (ways == 0 || entries % ways != 0)
+        fatal("BTB ways must divide entries");
+    sets_.assign(entries / ways, std::vector<Entry>(ways));
+}
+
+std::size_t
+BranchTargetBuffer::setIndex(Addr pc) const
+{
+    return (pc >> 2) & (sets_.size() - 1);
+}
+
+Addr
+BranchTargetBuffer::tagOf(Addr pc) const
+{
+    return pc >> 2 >> __builtin_ctzll(sets_.size());
+}
+
+std::optional<Addr>
+BranchTargetBuffer::lookup(Addr pc)
+{
+    auto &set = sets_[setIndex(pc)];
+    const Addr tag = tagOf(pc);
+    for (auto &e : set) {
+        if (e.valid && e.tag == tag) {
+            e.lru = ++tick_;
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+BranchTargetBuffer::update(Addr pc, Addr target)
+{
+    auto &set = sets_[setIndex(pc)];
+    const Addr tag = tagOf(pc);
+    ++tick_;
+
+    Entry *victim = &set[0];
+    for (auto &e : set) {
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->target = target;
+    victim->lru = tick_;
+}
+
+} // namespace thermctl

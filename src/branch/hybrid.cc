@@ -1,0 +1,128 @@
+#include "branch/hybrid.hh"
+
+namespace thermctl
+{
+
+HybridPredictor::HybridPredictor(const HybridPredictorConfig &cfg)
+    : bimod_(cfg.bimod_entries),
+      gag_(cfg.gag_entries, cfg.gag_history_bits),
+      chooser_(cfg.chooser_entries),
+      btb_(cfg.btb_entries, cfg.btb_ways),
+      ras_(cfg.ras_entries)
+{
+}
+
+BranchPrediction
+HybridPredictor::predict(const MicroOp &op)
+{
+    BranchPrediction pred;
+    pred.history_checkpoint = history_;
+    pred.ras_checkpoint_tos = ras_.tosIndex();
+    pred.ras_checkpoint_addr = ras_.top();
+    ++stats_.lookups;
+
+    if (op.is_return) {
+        pred.taken = true;
+        pred.used_ras = true;
+        pred.target = ras_.pop();
+        if (pred.target == 0) {
+            // Empty RAS: fall back to the BTB.
+            if (auto t = btb_.lookup(op.pc)) {
+                pred.target = *t;
+                pred.btb_hit = true;
+            }
+        }
+        return pred;
+    }
+
+    if (op.is_call) {
+        pred.taken = true;
+        ras_.push(op.nextPc());
+        if (auto t = btb_.lookup(op.pc)) {
+            pred.target = *t;
+            pred.btb_hit = true;
+        }
+        return pred;
+    }
+
+    if (!op.is_conditional) {
+        // Unconditional direct jump.
+        pred.taken = true;
+        if (auto t = btb_.lookup(op.pc)) {
+            pred.target = *t;
+            pred.btb_hit = true;
+        }
+        return pred;
+    }
+
+    ++stats_.cond_lookups;
+    const bool bimod_taken = bimod_.predict(op.pc);
+    const bool gag_taken = gag_.predictWith(history_);
+    // Chooser counter >= 2 selects the global (GAg) component.
+    pred.used_global = chooser_.predict(op.pc);
+    pred.taken = pred.used_global ? gag_taken : bimod_taken;
+
+    if (pred.taken) {
+        if (auto t = btb_.lookup(op.pc)) {
+            pred.target = *t;
+            pred.btb_hit = true;
+        }
+    }
+
+    // Speculative history update with the predicted direction.
+    history_ = ((history_ << 1) | (pred.taken ? 1u : 0u))
+        & gag_.historyMask();
+    return pred;
+}
+
+void
+HybridPredictor::resolve(const MicroOp &op, const BranchPrediction &pred)
+{
+    if (op.is_conditional) {
+        const std::uint32_t hist = pred.history_checkpoint;
+        const bool bimod_taken = bimod_.predict(op.pc);
+        const bool gag_taken = gag_.predictWith(hist);
+        const bool bimod_right = bimod_taken == op.taken;
+        const bool gag_right = gag_taken == op.taken;
+        // Chooser trains only when the components disagree.
+        if (bimod_right != gag_right)
+            chooser_.update(op.pc, gag_right);
+        bimod_.update(op.pc, op.taken);
+        gag_.updateWith(hist, op.taken);
+
+        if (pred.taken == op.taken)
+            ++stats_.dir_correct;
+        else
+            ++stats_.dir_wrong;
+    }
+
+    if (op.taken) {
+        if (!pred.btb_hit || pred.target != op.target) {
+            if (!op.is_return)
+                btb_.update(op.pc, op.target);
+            if (pred.taken && pred.target != op.target)
+                ++stats_.target_wrong;
+        }
+    }
+}
+
+void
+HybridPredictor::repairAfterMispredict(const MicroOp &op,
+                                       const BranchPrediction &pred)
+{
+    if (op.is_conditional) {
+        history_ = ((pred.history_checkpoint << 1)
+                    | (op.taken ? 1u : 0u))
+            & gag_.historyMask();
+    } else {
+        history_ = pred.history_checkpoint;
+    }
+    ras_.restore(pred.ras_checkpoint_tos, pred.ras_checkpoint_addr);
+    // Re-apply the branch's own RAS effect now that it is known correct.
+    if (op.is_call)
+        ras_.push(op.nextPc());
+    else if (op.is_return)
+        ras_.pop();
+}
+
+} // namespace thermctl

@@ -1,0 +1,47 @@
+#include "branch/ras.hh"
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+ReturnAddressStack::ReturnAddressStack(std::size_t entries)
+    : stack_(entries, 0)
+{
+    if (entries == 0)
+        fatal("ReturnAddressStack needs at least one entry");
+}
+
+void
+ReturnAddressStack::push(Addr ret_addr)
+{
+    stack_[tos_ % stack_.size()] = ret_addr;
+    ++tos_;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (tos_ == 0)
+        return 0;
+    --tos_;
+    return stack_[tos_ % stack_.size()];
+}
+
+Addr
+ReturnAddressStack::top() const
+{
+    if (tos_ == 0)
+        return 0;
+    return stack_[(tos_ - 1) % stack_.size()];
+}
+
+void
+ReturnAddressStack::restore(std::uint32_t tos_index, Addr top_value)
+{
+    tos_ = tos_index;
+    if (tos_ > 0)
+        stack_[(tos_ - 1) % stack_.size()] = top_value;
+}
+
+} // namespace thermctl

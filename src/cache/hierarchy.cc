@@ -1,0 +1,53 @@
+#include "cache/hierarchy.hh"
+
+namespace thermctl
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyConfig &cfg)
+    : cfg_(cfg), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2), tlb_(cfg.tlb)
+{
+}
+
+std::uint32_t
+MemoryHierarchy::dataAccess(Addr addr, bool is_write)
+{
+    std::uint32_t latency = tlb_.access(addr);
+    ++activity_.tlb_accesses;
+
+    ++activity_.l1d_accesses;
+    auto l1 = l1d_.access(addr, is_write);
+    if (l1.hit)
+        return latency + cfg_.l1d.hit_latency;
+
+    // L1 miss: fill from L2 (write-allocate). A dirty L1 victim writes
+    // back into the L2.
+    ++activity_.l2_accesses;
+    auto l2 = l2_.access(addr, false);
+    if (l1.writeback) {
+        ++activity_.l2_accesses;
+        l2_.access(l1.victim_addr, true);
+    }
+    if (l2.hit)
+        return latency + cfg_.l2.hit_latency;
+
+    // L2 miss: main memory. Dirty L2 victims go to memory (no extra
+    // latency modeled on the critical path — write buffers).
+    return latency + cfg_.memory_latency;
+}
+
+std::uint32_t
+MemoryHierarchy::instFetch(Addr pc)
+{
+    ++activity_.l1i_accesses;
+    auto l1 = l1i_.access(pc, false);
+    if (l1.hit)
+        return cfg_.l1i.hit_latency;
+
+    ++activity_.l2_accesses;
+    auto l2 = l2_.access(pc, false);
+    if (l2.hit)
+        return cfg_.l2.hit_latency;
+    return cfg_.memory_latency;
+}
+
+} // namespace thermctl

@@ -1,0 +1,50 @@
+#include "cache/tlb.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+Tlb::Tlb(const TlbConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.entries == 0)
+        fatal("TLB needs at least one entry");
+    if (cfg.page_bytes == 0 || !std::has_single_bit(cfg.page_bytes))
+        fatal("TLB page size must be a power of two");
+    page_shift_ = static_cast<unsigned>(std::countr_zero(cfg.page_bytes));
+}
+
+std::uint32_t
+Tlb::access(Addr addr)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const Addr page = addr >> page_shift_;
+    auto it = entries_.find(page);
+    if (it != entries_.end()) {
+        it->second = tick_;
+        return 0;
+    }
+
+    ++stats_.misses;
+    if (entries_.size() >= cfg_.entries) {
+        // Evict the least recently used page.
+        auto victim = entries_.begin();
+        for (auto jt = entries_.begin(); jt != entries_.end(); ++jt)
+            if (jt->second < victim->second)
+                victim = jt;
+        entries_.erase(victim);
+    }
+    entries_.emplace(page, tick_);
+    return cfg_.miss_penalty;
+}
+
+void
+Tlb::flush()
+{
+    entries_.clear();
+}
+
+} // namespace thermctl

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fully associative TLB (paper Table 2: 128 entries, 30-cycle miss
+ * penalty). Timing-only: translation is identity.
+ */
+
+#ifndef THERMCTL_CACHE_TLB_HH
+#define THERMCTL_CACHE_TLB_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace thermctl
+{
+
+/** TLB configuration. */
+struct TlbConfig
+{
+    std::uint32_t entries = 128;
+    std::uint32_t page_bytes = 8192;
+    std::uint32_t miss_penalty = 30;
+};
+
+/** Behavioural counters for the TLB. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses)
+                            / static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Fully associative, true-LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg = {});
+
+    /**
+     * Look up the page containing addr, filling on miss.
+     * @return the extra latency in cycles (0 on hit, miss_penalty on miss).
+     */
+    std::uint32_t access(Addr addr);
+
+    const TlbConfig &config() const { return cfg_; }
+    const TlbStats &stats() const { return stats_; }
+
+    /** Drop all translations. */
+    void flush();
+
+  private:
+    TlbConfig cfg_;
+    unsigned page_shift_;
+    /** page number -> LRU tick. */
+    std::unordered_map<Addr, std::uint64_t> entries_;
+    std::uint64_t tick_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_CACHE_TLB_HH

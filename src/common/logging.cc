@@ -1,0 +1,42 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace thermctl
+{
+
+namespace
+{
+
+std::atomic<bool> quiet_flag{false};
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quiet_flag.load(std::memory_order_relaxed);
+}
+
+void
+warnMessage(const std::string &msg)
+{
+    if (!isQuiet())
+        std::cerr << "warn: " << msg << '\n';
+}
+
+void
+informMessage(const std::string &msg)
+{
+    if (!isQuiet())
+        std::cerr << "info: " << msg << '\n';
+}
+
+} // namespace thermctl

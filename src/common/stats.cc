@@ -1,0 +1,243 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+// ---------------------------------------------------------------- Accumulator
+
+void
+Accumulator::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+// -------------------------------------------------------------- BoxcarAverage
+
+BoxcarAverage::BoxcarAverage(std::size_t window)
+{
+    if (window == 0)
+        fatal("BoxcarAverage window must be positive");
+    buf_.assign(window, 0.0);
+}
+
+void
+BoxcarAverage::add(double x)
+{
+    if (filled_ == buf_.size()) {
+        sum_ -= buf_[head_];
+    } else {
+        ++filled_;
+    }
+    buf_[head_] = x;
+    head_ = (head_ + 1) % buf_.size();
+    sum_ += x;
+    if (++adds_since_resum_ >= (1u << 20)) {
+        resum();
+        adds_since_resum_ = 0;
+    }
+}
+
+void
+BoxcarAverage::resum()
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < filled_; ++i)
+        s += buf_[(head_ + buf_.size() - 1 - i) % buf_.size()];
+    sum_ = s;
+}
+
+double
+BoxcarAverage::average() const
+{
+    if (filled_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(filled_);
+}
+
+void
+BoxcarAverage::reset()
+{
+    std::fill(buf_.begin(), buf_.end(), 0.0);
+    head_ = 0;
+    filled_ = 0;
+    sum_ = 0.0;
+    adds_since_resum_ = 0;
+}
+
+// ---------------------------------------------------------------- EwmaAverage
+
+EwmaAverage::EwmaAverage(double alpha) : alpha_(alpha)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("EwmaAverage alpha must be in (0, 1], got ", alpha);
+}
+
+void
+EwmaAverage::add(double x)
+{
+    if (empty_) {
+        value_ = x;
+        empty_ = false;
+    } else {
+        value_ += alpha_ * (x - value_);
+    }
+}
+
+void
+EwmaAverage::reset()
+{
+    value_ = 0.0;
+    empty_ = true;
+}
+
+// ------------------------------------------------------------------ Histogram
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(hi > lo))
+        fatal("Histogram range must satisfy hi > lo");
+    if (bins == 0)
+        fatal("Histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto bin = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t bin) const
+{
+    if (bin >= counts_.size())
+        panic("Histogram::binCount: bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin)
+        / static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(std::size_t bin) const
+{
+    return binLow(bin + 1);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double running = static_cast<double>(underflow_);
+    if (running >= target && underflow_ > 0)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = running + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double frac =
+                (target - running) / static_cast<double>(counts_[i]);
+            return binLow(i) + frac * (binHigh(i) - binLow(i));
+        }
+        running = next;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << total_
+       << " p50=" << quantile(0.5)
+       << " p90=" << quantile(0.9)
+       << " p99=" << quantile(0.99)
+       << " under=" << underflow_
+       << " over=" << overflow_;
+    return os.str();
+}
+
+} // namespace thermctl

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Streaming statistics primitives used across the simulator: scalar
+ * accumulators, fixed-window boxcar averages (the paper's power proxy),
+ * exponentially weighted averages, and simple histograms.
+ */
+
+#ifndef THERMCTL_COMMON_STATS_HH
+#define THERMCTL_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace thermctl
+{
+
+/**
+ * Streaming scalar accumulator: count, mean, variance (Welford), min, max.
+ */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator's samples into this one. */
+    void merge(const Accumulator &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const;
+    double max() const;
+
+    /** Population variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-length sliding-window ("boxcar") average.
+ *
+ * This is exactly the temperature proxy used by prior DTM work that the
+ * paper's Section 6 evaluates: the average of the last W per-cycle power
+ * samples. Until the window has filled, the average is over the samples
+ * seen so far.
+ */
+class BoxcarAverage
+{
+  public:
+    /** @param window number of most recent samples averaged; must be > 0. */
+    explicit BoxcarAverage(std::size_t window);
+
+    /** Push the next sample, evicting the oldest once the window is full. */
+    void add(double x);
+
+    /** @return current windowed average (0 when empty). */
+    double average() const;
+
+    /** @return number of samples currently in the window. */
+    std::size_t size() const { return filled_; }
+
+    /** @return configured window length. */
+    std::size_t window() const { return buf_.size(); }
+
+    /** @return true once the window holds `window()` samples. */
+    bool full() const { return filled_ == buf_.size(); }
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    std::vector<double> buf_;
+    std::size_t head_ = 0;
+    std::size_t filled_ = 0;
+    double sum_ = 0.0;
+    /** Periodically recomputed exact sum to bound float drift. */
+    std::uint64_t adds_since_resum_ = 0;
+    void resum();
+};
+
+/** Exponentially weighted moving average: y += alpha * (x - y). */
+class EwmaAverage
+{
+  public:
+    explicit EwmaAverage(double alpha);
+
+    void add(double x);
+    double average() const { return value_; }
+    bool empty() const { return empty_; }
+    void reset();
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool empty_ = true;
+};
+
+/** Uniform-bin histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::uint64_t binCount(std::size_t bin) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    std::size_t bins() const { return counts_.size(); }
+    double binLow(std::size_t bin) const;
+    double binHigh(std::size_t bin) const;
+
+    /** Linear-interpolated quantile estimate, q in [0, 1]. */
+    double quantile(double q) const;
+
+    /** Render a compact one-line textual summary. */
+    std::string summary() const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_COMMON_STATS_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every thermctl module.
+ */
+
+#ifndef THERMCTL_COMMON_TYPES_HH
+#define THERMCTL_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace thermctl
+{
+
+/** Simulated clock-cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated (virtual) memory address. */
+using Addr = std::uint64_t;
+
+/** Architectural / physical register identifier. */
+using RegId = std::uint16_t;
+
+/** Sentinel register id meaning "no register". */
+inline constexpr RegId kNoReg = 0xffff;
+
+/** Temperatures are handled in degrees Celsius throughout. */
+using Celsius = double;
+
+/** Power in Watts. */
+using Watts = double;
+
+/** Energy in Joules. */
+using Joules = double;
+
+/** Time in seconds. */
+using Seconds = double;
+
+} // namespace thermctl
+
+#endif // THERMCTL_COMMON_TYPES_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Physical constants and unit helpers.
+ *
+ * Thermal quantities use the electrical duality of the paper's Table 1:
+ * heat flow (W) <-> current, temperature difference (K) <-> voltage,
+ * thermal resistance (K/W) <-> resistance, thermal capacitance (J/K) <->
+ * capacitance, thermal RC constant (s) <-> electrical RC constant.
+ */
+
+#ifndef THERMCTL_COMMON_UNITS_HH
+#define THERMCTL_COMMON_UNITS_HH
+
+namespace thermctl
+{
+
+namespace units
+{
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+/** Square millimetres to square metres. */
+inline constexpr double
+mm2ToM2(double mm2)
+{
+    return mm2 * 1e-6;
+}
+
+/** Seconds to microseconds. */
+inline constexpr double
+sToUs(double s)
+{
+    return s * 1e6;
+}
+
+} // namespace units
+
+} // namespace thermctl
+
+#endif // THERMCTL_COMMON_UNITS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * First-order-plus-dead-time (FOPDT) plant model (paper Section 3.2).
+ *
+ * The thermal dynamics of a controlled structure are modeled as
+ *
+ *      P(s) = K e^{-Ls} / (tau s + 1)
+ *
+ * where K is the steady-state gain (thermal R times the actuator's
+ * power swing), tau the block's thermal RC constant, and L the loop dead
+ * time introduced by sampling (half the sampling period).
+ */
+
+#ifndef THERMCTL_CONTROL_PLANT_HH
+#define THERMCTL_CONTROL_PLANT_HH
+
+#include <cmath>
+#include <complex>
+
+namespace thermctl
+{
+
+/** FOPDT process model. */
+struct FopdtPlant
+{
+    double gain = 1.0;       ///< K: steady-state output per unit input
+    double tau = 1.0;        ///< first-order time constant (seconds)
+    double dead_time = 0.0;  ///< L: loop delay (seconds)
+
+    /** @return complex frequency response P(j*omega). */
+    std::complex<double>
+    response(double omega) const
+    {
+        const std::complex<double> jw(0.0, omega);
+        return gain * std::exp(-jw * dead_time) / (tau * jw + 1.0);
+    }
+
+    /** @return |P(j*omega)|. */
+    double
+    magnitude(double omega) const
+    {
+        return gain / std::sqrt(1.0 + omega * omega * tau * tau);
+    }
+
+    /** @return arg P(j*omega) in radians (negative: lag). */
+    double
+    phase(double omega) const
+    {
+        return -std::atan(omega * tau) - omega * dead_time;
+    }
+
+    /**
+     * Advance a discrete simulation of the plant by one step of length
+     * dt, given the (delayed externally) input u.
+     *
+     *      y += dt/tau * (K*u - y)
+     */
+    double
+    stepState(double y, double u, double dt) const
+    {
+        return y + dt / tau * (gain * u - y);
+    }
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_CONTROL_PLANT_HH

@@ -1,0 +1,189 @@
+#include "control/tuning.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "control/analysis.hh"
+
+namespace thermctl
+{
+
+const char *
+controllerKindName(ControllerKind kind)
+{
+    switch (kind) {
+      case ControllerKind::P: return "P";
+      case ControllerKind::PI: return "PI";
+      case ControllerKind::PID: return "PID";
+      default: return "?";
+    }
+}
+
+PidConfig
+tuneLoopShaping(ControllerKind kind, const FopdtPlant &plant,
+                const LoopShapingSpec &spec)
+{
+    if (plant.gain <= 0.0 || plant.tau <= 0.0)
+        fatal("tuneLoopShaping: plant gain and tau must be positive");
+    if (spec.phase_margin_deg <= 0.0 || spec.phase_margin_deg >= 90.0)
+        fatal("tuneLoopShaping: phase margin must be in (0, 90) degrees");
+
+    // Crossover frequency: a fraction of the delay corner, capped at a
+    // multiple of the plant pole (see LoopShapingSpec). With no dead
+    // time fall back to the plant pole.
+    double wc = plant.dead_time > 0.0
+        ? spec.crossover_fraction / plant.dead_time
+        : 1.0 / plant.tau;
+    if (spec.max_crossover_tau_mult > 0.0)
+        wc = std::min(wc, spec.max_crossover_tau_mult / plant.tau);
+
+    const double pm = spec.phase_margin_deg * M_PI / 180.0;
+    const double plant_phase = plant.phase(wc);
+    const double plant_mag = plant.magnitude(wc);
+
+    // Required controller phase at crossover so that the loop phase is
+    // -180 deg + phase margin.
+    double ctrl_phase = -M_PI + pm - plant_phase;
+    // A P/PI/PID controller can contribute phase in (-90, +90) degrees.
+    ctrl_phase = std::clamp(ctrl_phase, -0.49 * M_PI, 0.49 * M_PI);
+
+    PidConfig cfg;
+    const double tan_phase = std::tan(ctrl_phase);
+
+    switch (kind) {
+      case ControllerKind::P: {
+        // A P controller cannot shape phase; set unity loop gain at the
+        // crossover and accept the plant's phase margin.
+        cfg.kp = 1.0 / plant_mag;
+        break;
+      }
+      case ControllerKind::PI: {
+        // C(jw) = Kp - j Ki/w  =>  tan(theta) = -Ki / (w Kp), theta <= 0.
+        cfg.kp = std::cos(ctrl_phase) / plant_mag;
+        cfg.ki = std::max(0.0, -cfg.kp * tan_phase * wc);
+        if (cfg.ki == 0.0) {
+            // The plant leaves no phase budget for integral action at
+            // this crossover; take a gentle conventional integral.
+            cfg.ki = 0.1 * cfg.kp * wc;
+        }
+        break;
+      }
+      case ControllerKind::PID: {
+        // C(jw) = Kp + j (Kd w - Ki / w), with Kp^2 = 4 Ki Kd.
+        cfg.kp = std::cos(ctrl_phase) / plant_mag;
+        const double x = cfg.kp * tan_phase; // = Kd wc - Ki / wc
+        // Substitute Kd = Kp^2 / (4 Ki):
+        //   Ki^2 / wc + x Ki - Kp^2 wc / 4 = 0
+        const double disc = x * x + cfg.kp * cfg.kp;
+        cfg.ki = 0.5 * wc * (-x + std::sqrt(disc));
+        cfg.kd = cfg.kp * cfg.kp / (4.0 * cfg.ki);
+        break;
+      }
+    }
+    return cfg;
+}
+
+PidConfig
+tuneZieglerNichols(ControllerKind kind, const FopdtPlant &plant)
+{
+    if (plant.dead_time <= 0.0)
+        fatal("tuneZieglerNichols: requires a non-zero dead time");
+    const double k = plant.gain;
+    const double tau = plant.tau;
+    const double lag = plant.dead_time;
+
+    PidConfig cfg;
+    switch (kind) {
+      case ControllerKind::P:
+        cfg.kp = tau / (k * lag);
+        break;
+      case ControllerKind::PI:
+        cfg.kp = 0.9 * tau / (k * lag);
+        cfg.ki = cfg.kp / (lag / 0.3);
+        break;
+      case ControllerKind::PID:
+        cfg.kp = 1.2 * tau / (k * lag);
+        cfg.ki = cfg.kp / (2.0 * lag);
+        cfg.kd = cfg.kp * 0.5 * lag;
+        break;
+    }
+    return cfg;
+}
+
+PidConfig
+tuneImc(ControllerKind kind, const FopdtPlant &plant, double lambda)
+{
+    if (lambda <= 0.0)
+        lambda = std::max(0.5 * plant.tau, 4.0 * plant.dead_time);
+    const double k = plant.gain;
+    const double tau = plant.tau;
+    const double lag = plant.dead_time;
+
+    PidConfig cfg;
+    switch (kind) {
+      case ControllerKind::P:
+        cfg.kp = tau / (k * (lambda + lag));
+        break;
+      case ControllerKind::PI: {
+        cfg.kp = tau / (k * (lambda + lag));
+        cfg.ki = cfg.kp / tau;
+        break;
+      }
+      case ControllerKind::PID: {
+        const double ti = tau + 0.5 * lag;
+        cfg.kp = ti / (k * (lambda + 0.5 * lag));
+        cfg.ki = cfg.kp / ti;
+        cfg.kd = cfg.kp * (tau * 0.5 * lag) / ti;
+        break;
+      }
+    }
+    return cfg;
+}
+
+
+PidConfig
+tuneForSettlingTime(ControllerKind kind, const FopdtPlant &plant,
+                    double target_settling_s, double dt)
+{
+    if (kind == ControllerKind::P)
+        fatal("tuneForSettlingTime: a P controller cannot guarantee "
+              "settling to a 2% band (steady-state offset)");
+    if (target_settling_s <= 0.0 || dt <= 0.0)
+        fatal("tuneForSettlingTime: target and dt must be positive");
+
+    // Sweep the crossover cap from gentle to aggressive (and, at each
+    // speed, the phase margin from standard to heavily damped) and take
+    // the gentlest stable design that meets the target with bounded
+    // overshoot — gentler loops are more robust to plant mismatch.
+    for (double mult = 2.0; mult <= 256.0; mult *= 1.3) {
+        for (double pm : {60.0, 70.0, 80.0}) {
+            LoopShapingSpec spec;
+            spec.max_crossover_tau_mult = mult;
+            spec.phase_margin_deg = pm;
+            PidConfig cfg = tuneLoopShaping(kind, plant, spec);
+            cfg.dt = dt;
+            cfg.setpoint = 1.0;
+            cfg.out_min = -1e12;
+            cfg.out_max = 1e12;
+            const StepResponse resp = simulateClosedLoop(cfg, plant);
+            if (resp.diverged || !resp.settled)
+                continue;
+            if (resp.overshoot > 0.25)
+                continue;
+            if (resp.settling_time <= target_settling_s) {
+                // Hand back a clean config: gains + dt only.
+                PidConfig out = cfg;
+                out.setpoint = 0.0;
+                out.out_min = PidConfig{}.out_min;
+                out.out_max = PidConfig{}.out_max;
+                return out;
+            }
+        }
+    }
+    fatal("tuneForSettlingTime: no ", controllerKindName(kind),
+          " design in the searched family settles within ",
+          target_settling_s, " s for this plant");
+}
+
+} // namespace thermctl

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Controller tuning in the Laplace domain (paper Section 3.2).
+ *
+ * The paper derives P/PI/PID gains against the FOPDT thermal plant by
+ * loop shaping: pick a gain-crossover frequency and a phase constant
+ * (phase margin), solve the two magnitude/phase equations, and close the
+ * remaining degrees of freedom with the conventional constraint
+ * Kp^2 = 4 Ki Kd (a critically damped pair of controller zeros) for the
+ * PID. "All the preceding values are common values that are known to work
+ * well in practice" — they required no per-benchmark tuning, which is the
+ * robustness argument of the paper.
+ *
+ * Ziegler-Nichols and IMC (lambda) tunings are provided for comparison
+ * and for the controller-design ablation bench.
+ */
+
+#ifndef THERMCTL_CONTROL_TUNING_HH
+#define THERMCTL_CONTROL_TUNING_HH
+
+#include "control/pid.hh"
+#include "control/plant.hh"
+
+namespace thermctl
+{
+
+/** Controller families considered by the paper. */
+enum class ControllerKind
+{
+    P,
+    PI,
+    PID,
+};
+
+/** @return printable controller-kind name. */
+const char *controllerKindName(ControllerKind kind);
+
+/** Loop-shaping design parameters. */
+struct LoopShapingSpec
+{
+    /**
+     * Desired phase margin in degrees. The paper's phase-constant values
+     * per controller family; 60 degrees is the classic robust choice for
+     * PID, PI tolerates less because it only adds lag.
+     */
+    double phase_margin_deg = 60.0;
+
+    /**
+     * Gain-crossover frequency as a fraction of 1/dead_time. Crossing
+     * over well below the delay pole keeps the loop robust; 0.5 works
+     * for all three families on FOPDT thermal plants.
+     */
+    double crossover_fraction = 0.5;
+
+    /**
+     * Cap on the crossover as a multiple of the plant pole 1/tau. The
+     * thermal plant's time constant is ~500x the sampling dead time, so
+     * an uncapped delay-referenced crossover would produce enormous
+     * gains that a 7-level quantized actuator turns into pure limit
+     * cycling; capping at a few tens of plant poles keeps the loop gain
+     * meaningful for a quantized actuator while still reacting within a
+     * small fraction of the thermal time constant.
+     */
+    double max_crossover_tau_mult = 20.0;
+};
+
+/**
+ * Derive gains by loop shaping against an FOPDT plant.
+ *
+ * @param kind controller family (P / PI / PID)
+ * @param plant the process model
+ * @param spec design targets
+ * @return kp/ki/kd (unused gains zero)
+ */
+PidConfig tuneLoopShaping(ControllerKind kind, const FopdtPlant &plant,
+                          const LoopShapingSpec &spec = {});
+
+/** Classic open-loop Ziegler-Nichols step-response tuning. */
+PidConfig tuneZieglerNichols(ControllerKind kind, const FopdtPlant &plant);
+
+/**
+ * IMC / lambda tuning: closed-loop time constant lambda (defaults to
+ * max(0.5 tau, 4 L) when <= 0).
+ */
+PidConfig tuneImc(ControllerKind kind, const FopdtPlant &plant,
+                  double lambda = 0.0);
+
+/**
+ * The paper's Section 2.2 note, made concrete: "controllers can be
+ * designed with guaranteed settling times". Searches the loop-shaping
+ * crossover for the gentlest design whose simulated closed-loop step
+ * response settles (to +-2%) within the target time, verifying
+ * stability and bounding overshoot below 25%.
+ *
+ * @param kind controller family (PI or PID; P cannot guarantee settling
+ *        to a +-2% band because of its steady-state offset)
+ * @param plant the process model
+ * @param target_settling_s required settling time, seconds
+ * @param dt controller sampling period, seconds
+ * @return tuned gains with dt filled in; fatal() when no design in the
+ *         searched family meets the target
+ */
+PidConfig tuneForSettlingTime(ControllerKind kind,
+                              const FopdtPlant &plant,
+                              double target_settling_s, double dt);
+
+} // namespace thermctl
+
+#endif // THERMCTL_CONTROL_TUNING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-cycle activity counters exported by the core to the power model —
+ * the thermctl equivalent of Wattch's per-unit access counts.
+ */
+
+#ifndef THERMCTL_CPU_ACTIVITY_HH
+#define THERMCTL_CPU_ACTIVITY_HH
+
+#include <cstdint>
+
+namespace thermctl
+{
+
+/**
+ * Events observed during one core cycle. The power model converts these
+ * to per-structure energies using its capacitance estimates and the
+ * configured conditional-clocking style.
+ */
+struct CpuActivity
+{
+    // Front end.
+    std::uint32_t icache_accesses = 0; ///< fetch-width-granularity accesses
+    std::uint32_t bpred_lookups = 0;   ///< predictions made this cycle
+    std::uint32_t bpred_updates = 0;   ///< training events this cycle
+    std::uint32_t decoded_ops = 0;     ///< ops flowing through decode/rename
+
+    // Window / scheduler.
+    std::uint32_t dispatched_ops = 0;  ///< ops written into the RUU
+    std::uint32_t issued_int = 0;      ///< ops issued to integer units
+    std::uint32_t issued_fp = 0;       ///< ops issued to FP units
+    std::uint32_t issued_mem = 0;      ///< memory ports used
+    std::uint32_t wakeup_broadcasts = 0; ///< completing ops tag-matching
+
+    // Register file.
+    std::uint32_t regfile_reads = 0;
+    std::uint32_t regfile_writes = 0;
+
+    // LSQ.
+    std::uint32_t lsq_accesses = 0;    ///< inserts + associative searches
+
+    // Memory system (mirrored from MemoryHierarchy for convenience).
+    std::uint32_t l1d_accesses = 0;
+    std::uint32_t l1i_accesses = 0;
+    std::uint32_t l2_accesses = 0;
+    std::uint32_t tlb_accesses = 0;
+
+    // Execution.
+    std::uint32_t int_alu_ops = 0;
+    std::uint32_t int_mult_ops = 0;
+    std::uint32_t fp_alu_ops = 0;
+    std::uint32_t fp_mult_ops = 0;
+
+    // Retirement.
+    std::uint32_t committed_ops = 0;
+
+    /** Reset all counters for the next cycle. */
+    void
+    reset()
+    {
+        *this = CpuActivity{};
+    }
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_CPU_ACTIVITY_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Configuration of the simulated out-of-order core.
+ *
+ * Defaults follow the paper's Table 2: an approximation of the Alpha
+ * 21264 with an 80-entry instruction window (RUU), 40-entry load/store
+ * queue, 6-wide issue (4 integer + 2 FP), 4 IntALUs, 1 IntMult/Div,
+ * 2 FPALUs, 1 FPMult/Div, and 2 memory ports — plus the paper's pipeline
+ * extension of three additional rename/enqueue stages between decode and
+ * issue, which lengthen branch-resolution latency.
+ */
+
+#ifndef THERMCTL_CPU_CONFIG_HH
+#define THERMCTL_CPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "branch/hybrid.hh"
+
+namespace thermctl
+{
+
+/** Static configuration of the core. */
+struct CpuConfig
+{
+    // Widths.
+    std::uint32_t fetch_width = 4;
+    std::uint32_t dispatch_width = 4;
+    std::uint32_t commit_width = 4;
+    std::uint32_t int_issue_width = 4;
+    std::uint32_t fp_issue_width = 2;
+
+    // Window sizes (paper: 80-RUU, 40-LSQ).
+    std::uint32_t window_size = 80;
+    std::uint32_t lsq_size = 40;
+
+    /** Capacity of the fetch/decode/rename pipe feeding dispatch. */
+    std::uint32_t frontend_capacity = 32;
+
+    /**
+     * Stages between fetch and dispatch: decode (1) + the paper's three
+     * extra rename/enqueue stages + enqueue into the window (1).
+     */
+    std::uint32_t frontend_depth = 5;
+
+    // Functional units.
+    std::uint32_t num_int_alu = 4;
+    std::uint32_t num_int_mult = 1;  ///< shared mult/div unit
+    std::uint32_t num_fp_alu = 2;
+    std::uint32_t num_fp_mult = 1;   ///< shared mult/div unit
+    std::uint32_t num_mem_ports = 2;
+
+    // Latencies (cycles), SimpleScalar defaults.
+    std::uint32_t lat_int_alu = 1;
+    std::uint32_t lat_int_mult = 3;
+    std::uint32_t lat_int_div = 20;  ///< unpipelined
+    std::uint32_t lat_fp_alu = 2;
+    std::uint32_t lat_fp_mult = 4;
+    std::uint32_t lat_fp_div = 12;   ///< unpipelined
+
+    /** Branch predictor configuration (paper Table 2). */
+    HybridPredictorConfig bpred{};
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_CPU_CONFIG_HH

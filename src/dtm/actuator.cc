@@ -1,0 +1,51 @@
+#include "dtm/actuator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+FetchToggler::FetchToggler(std::uint32_t levels)
+    : levels_(levels), level_(levels)
+{
+    if (levels == 0)
+        fatal("FetchToggler: needs at least one duty level");
+}
+
+void
+FetchToggler::setDuty(double duty)
+{
+    duty = std::clamp(duty, 0.0, 1.0);
+    setLevel(static_cast<std::uint32_t>(
+        std::lround(duty * static_cast<double>(levels_))));
+}
+
+void
+FetchToggler::setLevel(std::uint32_t level)
+{
+    level_ = std::min(level, levels_);
+}
+
+double
+FetchToggler::duty() const
+{
+    return static_cast<double>(level_) / static_cast<double>(levels_);
+}
+
+bool
+FetchToggler::allowFetch()
+{
+    // Bresenham accumulator: emits `level_` allowed cycles out of every
+    // `levels_`, spaced as evenly as the integer arithmetic permits.
+    accumulator_ += level_;
+    if (accumulator_ >= levels_) {
+        accumulator_ -= levels_;
+        return true;
+    }
+    return false;
+}
+
+} // namespace thermctl

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The fetch-toggling actuator (paper Sections 2.2 and 5.3).
+ *
+ * The controller output (0-100%) is quantized to eight evenly spaced
+ * duty levels; a Bresenham-style accumulator spreads the permitted fetch
+ * cycles evenly through time, so level 4/7 really fetches 4 of every 7
+ * cycles rather than in bursts. Level 7 is full speed; level 0 is the
+ * paper's toggle1 (fetch fully disabled).
+ */
+
+#ifndef THERMCTL_DTM_ACTUATOR_HH
+#define THERMCTL_DTM_ACTUATOR_HH
+
+#include <cstdint>
+
+namespace thermctl
+{
+
+/** Evenly distributed fetch duty-cycle generator. */
+class FetchToggler
+{
+  public:
+    /** @param levels number of discrete duty levels above zero (paper: 7,
+     *  giving eight values 0/7 .. 7/7). */
+    explicit FetchToggler(std::uint32_t levels = 7);
+
+    /**
+     * Set the duty as a fraction in [0, 1]; it is quantized to the
+     * nearest discrete level.
+     */
+    void setDuty(double duty);
+
+    /** Set the discrete level directly (clamped to [0, levels]). */
+    void setLevel(std::uint32_t level);
+
+    /** @return current discrete level in [0, levels]. */
+    std::uint32_t level() const { return level_; }
+
+    /** @return the realized duty fraction level/levels. */
+    double duty() const;
+
+    /** @return whether fetch is permitted this cycle; advances state. */
+    bool allowFetch();
+
+    std::uint32_t levels() const { return levels_; }
+
+  private:
+    std::uint32_t levels_;
+    std::uint32_t level_;
+    std::uint32_t accumulator_ = 0;
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_DTM_ACTUATOR_HH

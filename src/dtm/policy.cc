@@ -1,0 +1,219 @@
+#include "dtm/policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+// ------------------------------------------------------- TriggeredPolicy
+
+TriggeredPolicy::TriggeredPolicy(Celsius trigger,
+                                 Cycle policy_delay_cycles,
+                                 std::string name)
+    : trigger_(trigger), policy_delay_(policy_delay_cycles),
+      name_(std::move(name))
+{
+}
+
+DtmCommand
+TriggeredPolicy::onSample(const TemperatureVector &sensed, Cycle now)
+{
+    const Celsius hottest = sensed.maxHotspot();
+    if (hottest >= trigger_) {
+        engaged_ = true;
+        engaged_until_ = now + policy_delay_;
+    } else if (engaged_ && now >= engaged_until_) {
+        engaged_ = false;
+    }
+    return engaged_ ? engagedCommand() : DtmCommand{};
+}
+
+void
+TriggeredPolicy::reset()
+{
+    engaged_ = false;
+    engaged_until_ = 0;
+}
+
+// ---------------------------------------------------------- FixedToggle
+
+FixedTogglePolicy::FixedTogglePolicy(double duty, Celsius trigger,
+                                     Cycle policy_delay_cycles,
+                                     std::string name)
+    : TriggeredPolicy(trigger, policy_delay_cycles, std::move(name)),
+      duty_(duty)
+{
+    if (duty < 0.0 || duty > 1.0)
+        fatal("FixedTogglePolicy: duty must be in [0, 1]");
+}
+
+DtmCommand
+FixedTogglePolicy::engagedCommand() const
+{
+    return DtmCommand{.duty = duty_};
+}
+
+// -------------------------------------------------------- FetchThrottle
+
+FetchThrottlePolicy::FetchThrottlePolicy(std::uint32_t width_limit,
+                                         Celsius trigger,
+                                         Cycle policy_delay_cycles)
+    : TriggeredPolicy(trigger, policy_delay_cycles, "throttle"),
+      width_limit_(width_limit)
+{
+    if (width_limit == 0)
+        fatal("FetchThrottlePolicy: width limit must be positive");
+}
+
+DtmCommand
+FetchThrottlePolicy::engagedCommand() const
+{
+    return DtmCommand{.width_limit = width_limit_};
+}
+
+// --------------------------------------------------- SpeculationControl
+
+SpeculationControlPolicy::SpeculationControlPolicy(
+    std::uint32_t max_branches, Celsius trigger,
+    Cycle policy_delay_cycles)
+    : TriggeredPolicy(trigger, policy_delay_cycles, "spec-ctrl"),
+      max_branches_(max_branches)
+{
+    if (max_branches == 0)
+        fatal("SpeculationControlPolicy: branch limit must be positive");
+}
+
+DtmCommand
+SpeculationControlPolicy::engagedCommand() const
+{
+    return DtmCommand{.spec_limit = max_branches_};
+}
+
+// ------------------------------------------------------ VoltageScaling
+
+VoltageScalingPolicy::VoltageScalingPolicy(double freq_scale,
+                                           Celsius trigger,
+                                           Cycle policy_delay_cycles)
+    : TriggeredPolicy(trigger, policy_delay_cycles, "vf-scaling"),
+      freq_scale_(freq_scale)
+{
+    if (freq_scale <= 0.0 || freq_scale >= 1.0)
+        fatal("VoltageScalingPolicy: freq scale must be in (0, 1)");
+}
+
+DtmCommand
+VoltageScalingPolicy::engagedCommand() const
+{
+    return DtmCommand{.freq_scale = freq_scale_};
+}
+
+// --------------------------------------------------------- Hierarchical
+
+HierarchicalPolicy::HierarchicalPolicy(std::unique_ptr<DtmPolicy> primary,
+                                       Celsius backup_trigger,
+                                       double backup_scale,
+                                       Cycle backup_delay)
+    : primary_(std::move(primary)), backup_trigger_(backup_trigger),
+      backup_scale_(backup_scale), backup_delay_(backup_delay)
+{
+    if (!primary_)
+        fatal("HierarchicalPolicy: primary policy must not be null");
+    if (backup_scale <= 0.0 || backup_scale >= 1.0)
+        fatal("HierarchicalPolicy: backup scale must be in (0, 1)");
+}
+
+DtmCommand
+HierarchicalPolicy::onSample(const TemperatureVector &sensed, Cycle now)
+{
+    DtmCommand cmd = primary_->onSample(sensed, now);
+    const Celsius hottest = sensed.maxHotspot();
+    if (hottest >= backup_trigger_) {
+        engaged_ = true;
+        engaged_until_ = now + backup_delay_;
+    } else if (engaged_ && now >= engaged_until_) {
+        engaged_ = false;
+    }
+    if (engaged_)
+        cmd.freq_scale = backup_scale_;
+    return cmd;
+}
+
+std::string
+HierarchicalPolicy::name() const
+{
+    return primary_->name() + "+vf";
+}
+
+void
+HierarchicalPolicy::reset()
+{
+    primary_->reset();
+    engaged_ = false;
+    engaged_until_ = 0;
+}
+
+// --------------------------------------------------- ManualProportional
+
+ManualProportionalPolicy::ManualProportionalPolicy(Celsius low,
+                                                   Celsius high)
+    : low_(low), high_(high)
+{
+    if (high <= low)
+        fatal("ManualProportionalPolicy: high must exceed low");
+}
+
+DtmCommand
+ManualProportionalPolicy::onSample(const TemperatureVector &sensed, Cycle)
+{
+    const Celsius hottest = sensed.maxHotspot();
+    // Duty 1 at/below `low`, 0 at/above `high`, linear in between:
+    // e.g. halfway through the band -> toggle every other cycle.
+    const double frac = (hottest - low_) / (high_ - low_);
+    return DtmCommand{.duty = std::clamp(1.0 - frac, 0.0, 1.0)};
+}
+
+// ------------------------------------------------------------- CtPolicy
+
+CtPolicy::CtPolicy(ControllerKind kind, const PidConfig &pid,
+                   Celsius range_low)
+    : kind_(kind), controller_([&] {
+          PidConfig cfg = pid;
+          cfg.out_min = 0.0;
+          cfg.out_max = 1.0;
+          // Start with the integral railed high: a cool chip must run
+          // at full speed from the very first sample.
+          cfg.integral_init = cfg.out_max;
+          return cfg;
+      }()),
+      range_low_(range_low)
+{
+    if (range_low >= pid.setpoint)
+        fatal("CtPolicy: sensor-range floor must sit below the setpoint");
+}
+
+DtmCommand
+CtPolicy::onSample(const TemperatureVector &sensed, Cycle)
+{
+    // Clamp the measurement at the sensor-range floor: below it the
+    // error is a constant positive value, the (clamped) integral rails
+    // at full speed, and toggling does not engage.
+    const Celsius measured =
+        std::max(sensed.maxHotspot(), range_low_);
+    return DtmCommand{.duty = controller_.update(measured)};
+}
+
+std::string
+CtPolicy::name() const
+{
+    return controllerKindName(kind_);
+}
+
+void
+CtPolicy::reset()
+{
+    controller_.reset();
+}
+
+} // namespace thermctl

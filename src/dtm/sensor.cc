@@ -1,0 +1,31 @@
+#include "dtm/sensor.hh"
+
+#include <cmath>
+
+namespace thermctl
+{
+
+SensorBank::SensorBank(const SensorConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+TemperatureVector
+SensorBank::read(const TemperatureVector &truth)
+{
+    TemperatureVector out = truth;
+    const bool ideal = cfg_.offset == 0.0 && cfg_.noise_sigma == 0.0
+        && cfg_.quantum == 0.0;
+    if (ideal)
+        return out;
+    for (double &t : out.value) {
+        t += cfg_.offset;
+        if (cfg_.noise_sigma > 0.0)
+            t += rng_.gaussian(0.0, cfg_.noise_sigma);
+        if (cfg_.quantum > 0.0)
+            t = std::round(t / cfg_.quantum) * cfg_.quantum;
+    }
+    return out;
+}
+
+} // namespace thermctl

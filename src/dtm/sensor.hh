@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Temperature-sensor model.
+ *
+ * The paper assumes an idealized sensor per functional block (its stated
+ * future work is modeling sensor behaviour distinct from true physical
+ * temperature). thermctl implements that extension: sensors can add a
+ * static offset, Gaussian noise, and quantization to the true block
+ * temperature; the defaults are ideal (zero error), matching the paper's
+ * assumption, and bench/ablation_sensors explores the non-ideal cases.
+ */
+
+#ifndef THERMCTL_DTM_SENSOR_HH
+#define THERMCTL_DTM_SENSOR_HH
+
+#include "common/random.hh"
+#include "thermal/rc_model.hh"
+
+namespace thermctl
+{
+
+/** Sensor non-idealities (defaults: ideal). */
+struct SensorConfig
+{
+    double offset = 0.0;       ///< static bias, degrees C
+    double noise_sigma = 0.0;  ///< Gaussian noise per reading, degrees C
+    double quantum = 0.0;      ///< quantization step (0 = continuous)
+    std::uint64_t seed = 0x5e5e5e5e;
+};
+
+/** Reads the per-block temperatures through the sensor model. */
+class SensorBank
+{
+  public:
+    explicit SensorBank(const SensorConfig &cfg = {});
+
+    /** @return sensed temperatures for the given true temperatures. */
+    TemperatureVector read(const TemperatureVector &truth);
+
+    const SensorConfig &config() const { return cfg_; }
+
+  private:
+    SensorConfig cfg_;
+    Rng rng_;
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_DTM_SENSOR_HH

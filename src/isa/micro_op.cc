@@ -1,0 +1,45 @@
+#include "isa/micro_op.hh"
+
+#include <sstream>
+
+namespace thermctl
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "ialu";
+      case OpClass::IntMult: return "imult";
+      case OpClass::IntDiv: return "idiv";
+      case OpClass::FpAlu: return "falu";
+      case OpClass::FpMult: return "fmult";
+      case OpClass::FpDiv: return "fdiv";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::Branch: return "branch";
+      case OpClass::Nop: return "nop";
+      default: return "?";
+    }
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << std::dec << ' ' << opClassName(op);
+    if (hasDest())
+        os << " r" << dest << " <-";
+    for (std::uint8_t i = 0; i < num_srcs; ++i)
+        os << " r" << srcs[i];
+    if (isMemOp(op))
+        os << " [0x" << std::hex << mem_addr << std::dec << ']';
+    if (is_branch) {
+        os << (taken ? " T" : " N");
+        if (taken)
+            os << " ->0x" << std::hex << target << std::dec;
+    }
+    return os.str();
+}
+
+} // namespace thermctl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The micro-operation format consumed by the out-of-order core.
+ *
+ * thermctl does not interpret a binary ISA: workloads are streams of
+ * pre-decoded micro-ops (the moral equivalent of a SimpleScalar EIO trace)
+ * carrying everything the timing, power and thermal models need — operation
+ * class, register dependences, memory address, and branch outcome.
+ */
+
+#ifndef THERMCTL_ISA_MICRO_OP_HH
+#define THERMCTL_ISA_MICRO_OP_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace thermctl
+{
+
+/** Operation classes, mirroring SimpleScalar's functional-unit classes. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< single-cycle integer ALU op
+    IntMult,    ///< pipelined integer multiply
+    IntDiv,     ///< unpipelined integer divide
+    FpAlu,      ///< FP add/sub/compare/convert
+    FpMult,     ///< FP multiply
+    FpDiv,      ///< unpipelined FP divide
+    Load,       ///< memory read
+    Store,      ///< memory write
+    Branch,     ///< control transfer (conditional or not)
+    Nop,        ///< no-op (consumes a slot only)
+    NumOpClasses,
+};
+
+/** @return a short mnemonic for an op class ("ialu", "load", ...). */
+const char *opClassName(OpClass cls);
+
+/** @return true for Load or Store. */
+constexpr bool
+isMemOp(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+/** @return true for any class executed on the FP unit. */
+constexpr bool
+isFpOp(OpClass cls)
+{
+    return cls == OpClass::FpAlu || cls == OpClass::FpMult
+        || cls == OpClass::FpDiv;
+}
+
+/**
+ * Architectural register file shape: 32 integer + 32 floating-point
+ * registers, as in the Alpha ISA the paper simulates.
+ */
+inline constexpr RegId kNumIntArchRegs = 32;
+inline constexpr RegId kNumFpArchRegs = 32;
+inline constexpr RegId kNumArchRegs = kNumIntArchRegs + kNumFpArchRegs;
+
+/** First FP architectural register id (FP regs follow the int regs). */
+inline constexpr RegId kFirstFpReg = kNumIntArchRegs;
+
+/**
+ * A single pre-decoded micro-operation.
+ *
+ * Branch fields carry the *oracle* direction/target from the workload
+ * generator; the core's branch predictor produces its own prediction and
+ * mispeculates when they disagree, exactly as a trace-driven SimpleScalar
+ * run would.
+ */
+struct MicroOp
+{
+    Addr pc = 0;                     ///< instruction address
+    OpClass op = OpClass::Nop;       ///< functional class
+
+    std::uint8_t num_srcs = 0;       ///< valid entries in srcs[]
+    std::array<RegId, 2> srcs{kNoReg, kNoReg}; ///< source arch registers
+    RegId dest = kNoReg;             ///< destination arch register (or none)
+
+    Addr mem_addr = 0;               ///< effective address (mem ops)
+    std::uint8_t mem_size = 8;       ///< access size in bytes (mem ops)
+
+    bool is_branch = false;          ///< convenience mirror of op == Branch
+    bool is_conditional = false;     ///< conditional branch?
+    bool is_call = false;            ///< call (pushes return address)
+    bool is_return = false;          ///< return (pops return address)
+    bool taken = false;              ///< oracle direction
+    Addr target = 0;                 ///< oracle target when taken
+
+    /** @return the fall-through address (fixed 4-byte encoding). */
+    Addr nextPc() const { return pc + 4; }
+
+    /** @return where control actually goes after this op. */
+    Addr
+    actualNextPc() const
+    {
+        return (is_branch && taken) ? target : nextPc();
+    }
+
+    /** @return true when this op writes an architectural register. */
+    bool hasDest() const { return dest != kNoReg; }
+
+    /** Render a compact human-readable description (for debugging). */
+    std::string toString() const;
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_ISA_MICRO_OP_HH

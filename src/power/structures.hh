@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The on-chip structures tracked individually by the power and thermal
+ * models — the seven blocks of the paper's Table 3 plus a "rest of chip"
+ * aggregate (I-cache, L2, decode/rename, clock tree, buses) that
+ * contributes to chip-wide power and occupies the remaining die area.
+ */
+
+#ifndef THERMCTL_POWER_STRUCTURES_HH
+#define THERMCTL_POWER_STRUCTURES_HH
+
+#include <array>
+#include <cstddef>
+
+namespace thermctl
+{
+
+/** Identifiers of individually modeled structures. */
+enum class StructureId : std::size_t
+{
+    Lsq = 0,      ///< load/store queue
+    Window,       ///< instruction window (RUU incl. uncommitted regs)
+    Regfile,      ///< architectural register file
+    Bpred,        ///< branch predictor (incl. BTB)
+    DCache,       ///< L1 data cache
+    IntExec,      ///< integer execution units
+    FpExec,       ///< floating-point execution units
+    RestOfChip,   ///< everything else (I-cache, L2, rename, clock, buses)
+    NumStructures,
+};
+
+inline constexpr std::size_t kNumStructures =
+    static_cast<std::size_t>(StructureId::NumStructures);
+
+/** Number of structures that are paper-Table-3 thermal hot-spot blocks. */
+inline constexpr std::size_t kNumHotspotStructures = 7;
+
+/** @return printable structure name matching the paper's Table 3. */
+const char *structureName(StructureId id);
+
+/** A per-structure vector of Watts (or Joules, by context). */
+struct PowerVector
+{
+    std::array<double, kNumStructures> value{};
+
+    double &operator[](StructureId id)
+    {
+        return value[static_cast<std::size_t>(id)];
+    }
+
+    double operator[](StructureId id) const
+    {
+        return value[static_cast<std::size_t>(id)];
+    }
+
+    /** @return sum over all structures (chip-wide total). */
+    double
+    total() const
+    {
+        double t = 0.0;
+        for (double v : value)
+            t += v;
+        return t;
+    }
+};
+
+/** Iterate all structure ids. */
+inline constexpr std::array<StructureId, kNumStructures> kAllStructures = {
+    StructureId::Lsq, StructureId::Window, StructureId::Regfile,
+    StructureId::Bpred, StructureId::DCache, StructureId::IntExec,
+    StructureId::FpExec, StructureId::RestOfChip,
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_POWER_STRUCTURES_HH

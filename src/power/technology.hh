@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Process-technology parameters for the power model.
+ *
+ * The paper's experiments use Wattch 1.02 configured for a 0.18 um
+ * process, Vdd = 2.0 V, and a 1.5 GHz clock ("roughly representative of
+ * values in contemporary processors" in 2001). The capacitance constants
+ * below are of the same flavour as Wattch's CACTI-derived values, stated
+ * directly at 0.18 um; kEnergyCalibration absorbs the layout factors
+ * (precharge style, cell sizing, drivers) that a full CACTI run would
+ * model, and is chosen so per-structure peak powers land in the range the
+ * paper's Table 3 reports.
+ */
+
+#ifndef THERMCTL_POWER_TECHNOLOGY_HH
+#define THERMCTL_POWER_TECHNOLOGY_HH
+
+namespace thermctl
+{
+
+/** Electrical/process parameters (0.18 um generation defaults). */
+struct Technology
+{
+    double feature_um = 0.18;   ///< drawn feature size
+    double vdd = 2.0;           ///< supply voltage (V)
+    double freq_hz = 1.5e9;     ///< clock frequency
+
+    // Per-element capacitances at 0.18 um.
+    double c_gate_ff = 0.30;    ///< pass-gate load per cell on a wordline
+    double c_drain_ff = 0.17;   ///< drain load per cell on a bitline
+    double c_wire_ff_per_um = 0.23; ///< metal wire capacitance
+    double cell_width_um = 2.0;  ///< SRAM cell width (per bit, 1 port)
+    double cell_height_um = 1.6; ///< SRAM cell height (per bit, 1 port)
+    /** Extra cell pitch per additional port (wire + transistor). */
+    double port_pitch_um = 0.6;
+
+    double sense_amp_energy_fj = 80.0; ///< per column per access
+    double bitline_swing_v = 1.0;      ///< read swing (write = full rail)
+
+    /**
+     * Global calibration of array energies (see file comment). Applied
+     * multiplicatively to every array/CAM access energy.
+     */
+    double array_energy_scale = 3.0;
+
+    /** @return cycle time in seconds. */
+    double cycleSeconds() const { return 1.0 / freq_hz; }
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_POWER_TECHNOLOGY_HH

@@ -1,0 +1,88 @@
+#include "sim/experiment.hh"
+
+namespace thermctl
+{
+
+ExperimentRunner::ExperimentRunner(const RunProtocol &protocol)
+    : protocol_(protocol)
+{
+}
+
+RunResult
+ExperimentRunner::runOne(const WorkloadProfile &profile,
+                         const DtmPolicySettings &policy,
+                         const SimConfig &base) const
+{
+    SimConfig cfg = base;
+    cfg.workload = profile;
+    cfg.policy = policy;
+
+    Simulator sim(cfg);
+    sim.warmUp(protocol_.warmup_cycles);
+    sim.run(protocol_.measure_cycles);
+
+    RunResult result;
+    result.benchmark = profile.name;
+    result.policy = dtmPolicyKindName(policy.kind);
+    result.category = profile.category;
+    // Wall-time-normalized performance: equals IPC except under
+    // frequency scaling, which must be charged for its slower clock.
+    result.ipc = sim.measuredPerformance();
+    result.avg_power = sim.stats().avgPower();
+
+    const auto &dtm_stats = sim.dtm().stats();
+    result.emergency_fraction = dtm_stats.emergencyFraction();
+    result.stress_fraction = dtm_stats.stressFraction();
+    result.max_temperature = dtm_stats.max_temperature;
+    result.mean_duty = dtm_stats.samples
+        ? dtm_stats.duty_sum / static_cast<double>(dtm_stats.samples)
+        : 1.0;
+
+    const auto &stats = sim.stats();
+    for (std::size_t i = 0; i < kNumStructures; ++i) {
+        const auto id = static_cast<StructureId>(i);
+        auto &det = result.structures[i];
+        const auto &s = stats.structures[i];
+        det.avg_temp = stats.avgTemperature(id);
+        det.max_temp = s.temp_max;
+        det.avg_power = stats.avgStructurePower(id);
+        const double cycles = static_cast<double>(stats.cycles);
+        det.emergency_fraction = cycles
+            ? static_cast<double>(s.emergency_cycles) / cycles
+            : 0.0;
+        det.stress_fraction = cycles
+            ? static_cast<double>(s.stress_cycles) / cycles
+            : 0.0;
+    }
+    return result;
+}
+
+std::vector<RunResult>
+ExperimentRunner::runAll(const std::vector<WorkloadProfile> &profiles,
+                         const DtmPolicySettings &policy,
+                         const SimConfig &base) const
+{
+    std::vector<RunResult> results;
+    results.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        results.push_back(runOne(profile, policy, base));
+    return results;
+}
+
+ThermalCategory
+classifyThermalBehaviour(const RunResult &run)
+{
+    // Paper Table 5: extreme programs actually enter emergency; high
+    // ones spend essentially all their time within a degree of it
+    // (the paper's "as much as 98%"); medium ones a substantial
+    // fraction; low ones only occasionally.
+    if (run.emergency_fraction > 0.001)
+        return ThermalCategory::Extreme;
+    if (run.stress_fraction >= 0.97)
+        return ThermalCategory::High;
+    if (run.stress_fraction >= 0.40)
+        return ThermalCategory::Medium;
+    return ThermalCategory::Low;
+}
+
+} // namespace thermctl

@@ -1,0 +1,115 @@
+#include "sim/policy_factory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+const char *
+dtmPolicyKindName(DtmPolicyKind kind)
+{
+    switch (kind) {
+      case DtmPolicyKind::None: return "none";
+      case DtmPolicyKind::Toggle1: return "toggle1";
+      case DtmPolicyKind::Toggle2: return "toggle2";
+      case DtmPolicyKind::Manual: return "M";
+      case DtmPolicyKind::P: return "P";
+      case DtmPolicyKind::PI: return "PI";
+      case DtmPolicyKind::PID: return "PID";
+      case DtmPolicyKind::Throttle: return "throttle";
+      case DtmPolicyKind::SpecControl: return "spec-ctrl";
+      case DtmPolicyKind::VfScale: return "vf-scaling";
+      case DtmPolicyKind::Hierarchical: return "PID+vf";
+      default: return "?";
+    }
+}
+
+FopdtPlant
+deriveDtmPlant(const Floorplan &floorplan, const PowerModel &power,
+               const DtmConfig &dtm, double cycle_seconds)
+{
+    FopdtPlant plant;
+    plant.tau = 0.0;
+    plant.gain = 0.0;
+    for (std::size_t i = 0; i < kNumHotspotStructures; ++i) {
+        const auto id = static_cast<StructureId>(i);
+        const auto &blk = floorplan.block(id);
+        plant.tau = std::max(plant.tau, blk.rc());
+        // Power swing commanded by the duty range: about half the
+        // block's peak (from full activity down to the gated floor).
+        const double swing = 0.5 * power.peak()[id];
+        plant.gain = std::max(plant.gain, blk.resistance * swing);
+    }
+    plant.dead_time =
+        0.5 * static_cast<double>(dtm.sample_interval) * cycle_seconds;
+    return plant;
+}
+
+std::unique_ptr<DtmPolicy>
+makeDtmPolicy(const DtmPolicySettings &settings, const FopdtPlant &plant,
+              const DtmConfig &dtm, double cycle_seconds)
+{
+    const double sample_dt =
+        static_cast<double>(dtm.sample_interval) * cycle_seconds;
+
+    auto make_ct = [&](ControllerKind kind, Celsius setpoint,
+                       Celsius range_low) {
+        PidConfig cfg = tuneLoopShaping(kind, plant, settings.shaping);
+        cfg.setpoint = setpoint;
+        cfg.dt = sample_dt;
+        cfg.out_min = 0.0;
+        cfg.out_max = 1.0;
+        cfg.anti_windup = AntiWindup::Conditional;
+        cfg.integral_init = cfg.out_max; // cool chip starts at full speed
+        return std::make_unique<CtPolicy>(kind, cfg, range_low);
+    };
+
+    switch (settings.kind) {
+      case DtmPolicyKind::None:
+        return std::make_unique<NoDtmPolicy>();
+      case DtmPolicyKind::Toggle1:
+        return std::make_unique<FixedTogglePolicy>(
+            0.0, settings.nonct_trigger, settings.policy_delay,
+            "toggle1");
+      case DtmPolicyKind::Toggle2:
+        return std::make_unique<FixedTogglePolicy>(
+            0.5, settings.nonct_trigger, settings.policy_delay,
+            "toggle2");
+      case DtmPolicyKind::Manual:
+        return std::make_unique<ManualProportionalPolicy>(
+            settings.nonct_trigger, settings.nonct_trigger + 1.0);
+      case DtmPolicyKind::P:
+        return make_ct(ControllerKind::P, settings.p_setpoint,
+                       settings.p_range_low);
+      case DtmPolicyKind::PI:
+        return make_ct(ControllerKind::PI, settings.ct_setpoint,
+                       settings.ct_range_low);
+      case DtmPolicyKind::PID:
+        return make_ct(ControllerKind::PID, settings.ct_setpoint,
+                       settings.ct_range_low);
+      case DtmPolicyKind::Throttle:
+        return std::make_unique<FetchThrottlePolicy>(
+            settings.throttle_width, settings.nonct_trigger,
+            settings.policy_delay);
+      case DtmPolicyKind::SpecControl:
+        return std::make_unique<SpeculationControlPolicy>(
+            settings.spec_max_branches, settings.nonct_trigger,
+            settings.policy_delay);
+      case DtmPolicyKind::VfScale:
+        return std::make_unique<VoltageScalingPolicy>(
+            settings.vf_scale, settings.nonct_trigger,
+            settings.vf_policy_delay);
+      case DtmPolicyKind::Hierarchical:
+        return std::make_unique<HierarchicalPolicy>(
+            make_ct(ControllerKind::PID, settings.ct_setpoint,
+                    settings.ct_range_low),
+            settings.hierarchy_backup_trigger, settings.vf_scale,
+            settings.vf_policy_delay);
+      default:
+        panic("unknown DTM policy kind");
+    }
+}
+
+} // namespace thermctl

@@ -1,0 +1,209 @@
+#include "thermal/rc_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+// --------------------------------------------------------- SimplifiedRCModel
+
+SimplifiedRCModel::SimplifiedRCModel(const Floorplan &floorplan,
+                                     const ThermalConfig &cfg,
+                                     double dt_seconds)
+    : floorplan_(floorplan), cfg_(cfg), dt_(dt_seconds)
+{
+    if (dt_seconds <= 0.0)
+        fatal("SimplifiedRCModel: dt must be positive");
+    for (StructureId id : kAllStructures) {
+        const auto &blk = floorplan.block(id);
+        const std::size_t i = static_cast<std::size_t>(id);
+        if (blk.capacitance <= 0.0 || blk.resistance <= 0.0)
+            fatal("SimplifiedRCModel: non-positive R or C for block ",
+                  structureName(id));
+        inv_c_[i] = dt_ / blk.capacitance;
+        inv_rc_[i] = dt_ / (blk.resistance * blk.capacitance);
+        if (inv_rc_[i] >= 1.0)
+            fatal("SimplifiedRCModel: dt too large for block time "
+                  "constant (forward Euler unstable)");
+        temps_.value[i] = cfg.t_base;
+    }
+}
+
+void
+SimplifiedRCModel::step(const PowerVector &power)
+{
+    // Paper Eq. 5: T += dt/C * P - dt/(RC) * (T - T_base)
+    for (std::size_t i = 0; i < kNumStructures; ++i) {
+        temps_.value[i] += power.value[i] * inv_c_[i]
+            - (temps_.value[i] - cfg_.t_base) * inv_rc_[i];
+    }
+}
+
+void
+SimplifiedRCModel::stepScaled(const PowerVector &power, double dt_mult)
+{
+    if (dt_mult <= 0.0)
+        panic("SimplifiedRCModel::stepScaled: dt_mult must be positive");
+    for (std::size_t i = 0; i < kNumStructures; ++i) {
+        temps_.value[i] += dt_mult
+            * (power.value[i] * inv_c_[i]
+               - (temps_.value[i] - cfg_.t_base) * inv_rc_[i]);
+    }
+}
+
+void
+SimplifiedRCModel::stepExact(const PowerVector &power, std::uint64_t cycles)
+{
+    const double span = dt_ * static_cast<double>(cycles);
+    for (StructureId id : kAllStructures) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        const auto &blk = floorplan_.block(id);
+        const double t_ss = cfg_.t_base
+            + power.value[i] * blk.resistance;
+        const double decay = std::exp(-span / blk.rc());
+        temps_.value[i] = t_ss + (temps_.value[i] - t_ss) * decay;
+    }
+}
+
+void
+SimplifiedRCModel::warmStart(const PowerVector &power)
+{
+    for (StructureId id : kAllStructures) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        temps_.value[i] = steadyState(id, power.value[i]);
+    }
+}
+
+void
+SimplifiedRCModel::setUniform(Celsius t)
+{
+    temps_.value.fill(t);
+}
+
+Celsius
+SimplifiedRCModel::steadyState(StructureId id, Watts p) const
+{
+    return cfg_.t_base + p * floorplan_.block(id).resistance;
+}
+
+// --------------------------------------------------------------- FullRCModel
+
+FullRCModel::FullRCModel(const Floorplan &floorplan,
+                         const ThermalConfig &cfg, double dt_seconds)
+    : floorplan_(floorplan), cfg_(cfg), dt_(dt_seconds),
+      t_sink_(cfg.t_base)
+{
+    if (dt_seconds <= 0.0)
+        fatal("FullRCModel: dt must be positive");
+    for (StructureId id : kAllStructures) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        temps_.value[i] = cfg.t_base;
+        conductance_[i][kNumStructures] =
+            1.0 / floorplan.block(id).resistance;
+    }
+    for (const auto &tan : floorplan.tangential()) {
+        const std::size_t a = static_cast<std::size_t>(tan.a);
+        const std::size_t b = static_cast<std::size_t>(tan.b);
+        const double g = 1.0 / tan.resistance;
+        conductance_[a][b] += g;
+        conductance_[b][a] += g;
+    }
+    sink_to_ambient_g_ = 1.0 / floorplan.config().chip_resistance;
+}
+
+void
+FullRCModel::step(const PowerVector &power)
+{
+    std::array<double, kNumStructures> flow{};
+    double sink_flow = 0.0;
+
+    for (std::size_t i = 0; i < kNumStructures; ++i) {
+        double q = power.value[i];
+        // Tangential exchange.
+        for (std::size_t j = 0; j < kNumStructures; ++j) {
+            if (conductance_[i][j] != 0.0) {
+                q -= conductance_[i][j]
+                    * (temps_.value[i] - temps_.value[j]);
+            }
+        }
+        // Normal path to the heatsink node.
+        const double to_sink = conductance_[i][kNumStructures]
+            * (temps_.value[i] - t_sink_);
+        q -= to_sink;
+        sink_flow += to_sink;
+        flow[i] = q;
+    }
+
+    for (StructureId id : kAllStructures) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        temps_.value[i] += dt_ * flow[i]
+            / floorplan_.block(id).capacitance;
+    }
+
+    sink_flow -= sink_to_ambient_g_
+        * (t_sink_ - floorplan_.config().ambient);
+    t_sink_ += dt_ * sink_flow / floorplan_.config().chip_capacitance;
+}
+
+void
+FullRCModel::stepSpan(const PowerVector &power, std::uint64_t cycles)
+{
+    // Forward Euler stays stable as long as dt is well below the
+    // smallest node time constant; sub-step in chunks of at most 1 us.
+    const double max_chunk_s = 1e-6;
+    const std::uint64_t chunk_cycles = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(max_chunk_s / dt_));
+    std::uint64_t remaining = cycles;
+    const double saved_dt = dt_;
+    while (remaining > 0) {
+        const std::uint64_t n = std::min(remaining, chunk_cycles);
+        dt_ = saved_dt * static_cast<double>(n);
+        step(power);
+        dt_ = saved_dt;
+        remaining -= n;
+    }
+}
+
+void
+FullRCModel::setUniform(Celsius t)
+{
+    temps_.value.fill(t);
+    t_sink_ = t;
+}
+
+void
+FullRCModel::setTemperatures(const TemperatureVector &temps, Celsius sink)
+{
+    temps_ = temps;
+    t_sink_ = sink;
+}
+
+// ------------------------------------------------------------ ChipLevelModel
+
+ChipLevelModel::ChipLevelModel(const FloorplanConfig &cfg, Celsius initial,
+                               double dt_seconds)
+    : r_(cfg.chip_resistance), c_(cfg.chip_capacitance),
+      ambient_(cfg.ambient), temp_(initial), dt_(dt_seconds)
+{
+    if (r_ <= 0.0 || c_ <= 0.0 || dt_seconds <= 0.0)
+        fatal("ChipLevelModel: R, C and dt must be positive");
+}
+
+void
+ChipLevelModel::step(Watts total_power)
+{
+    temp_ += dt_ * total_power / c_ - dt_ * (temp_ - ambient_) / (r_ * c_);
+}
+
+void
+ChipLevelModel::stepExact(Watts total_power, std::uint64_t cycles)
+{
+    const double span = dt_ * static_cast<double>(cycles);
+    const double t_ss = ambient_ + total_power * r_;
+    temp_ = t_ss + (temp_ - t_ss) * std::exp(-span / (r_ * c_));
+}
+
+} // namespace thermctl

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Lumped thermal-RC models (paper Section 4).
+ *
+ * SimplifiedRCModel is the paper's Figure 3C network: every block has an
+ * independent RC path to a quasi-constant base (heatsink) temperature,
+ * integrated per cycle with the paper's Eq. 5 difference equation, or
+ * advanced exactly over multi-cycle spans with the closed-form
+ * exponential solution (the two agree to first order in dt/RC; the exact
+ * form is used to accelerate long idle spans and as a test oracle).
+ *
+ * FullRCModel is the Figure 3B network: tangential block-to-block
+ * resistances plus an explicit heatsink node with its own (much larger)
+ * RC to ambient. It exists to validate the simplification the paper
+ * argues for (bench/ablation_thermal_model).
+ *
+ * ChipLevelModel tracks the single chip-wide RC (paper Table 3 last row)
+ * whose ~seconds time constant is the reason chip-wide temperature cannot
+ * react to — or even see — localized heating.
+ */
+
+#ifndef THERMCTL_THERMAL_RC_MODEL_HH
+#define THERMCTL_THERMAL_RC_MODEL_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "power/structures.hh"
+#include "thermal/floorplan.hh"
+
+namespace thermctl
+{
+
+/** Thermal thresholds and environment (reconstructed; see DESIGN.md). */
+struct ThermalConfig
+{
+    /** Quasi-static heatsink/base temperature under load. */
+    Celsius t_base = 108.0;
+
+    /** Thermal-emergency threshold (structure damage above this). */
+    Celsius t_emergency = 111.8;
+
+    /** "Thermal stress" level used by the paper's Tables 4/7/8. */
+    Celsius
+    stressLevel() const
+    {
+        return t_emergency - 1.0;
+    }
+};
+
+/** Per-block temperatures. */
+struct TemperatureVector
+{
+    std::array<Celsius, kNumStructures> value{};
+
+    Celsius &operator[](StructureId id)
+    {
+        return value[static_cast<std::size_t>(id)];
+    }
+
+    Celsius operator[](StructureId id) const
+    {
+        return value[static_cast<std::size_t>(id)];
+    }
+
+    /** @return the hottest block among the paper's 7 hot-spot blocks. */
+    Celsius
+    maxHotspot() const
+    {
+        Celsius m = value[0];
+        for (std::size_t i = 1; i < kNumHotspotStructures; ++i)
+            m = std::max(m, value[i]);
+        return m;
+    }
+
+    /** @return the id of the hottest hot-spot block. */
+    StructureId
+    hottest() const
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < kNumHotspotStructures; ++i)
+            if (value[i] > value[best])
+                best = i;
+        return static_cast<StructureId>(best);
+    }
+};
+
+/** The paper's simplified per-block RC network (Figure 3C). */
+class SimplifiedRCModel
+{
+  public:
+    SimplifiedRCModel(const Floorplan &floorplan, const ThermalConfig &cfg,
+                      double dt_seconds);
+
+    /**
+     * Advance one cycle with the given per-block power (paper Eq. 5,
+     * forward Euler).
+     */
+    void step(const PowerVector &power);
+
+    /**
+     * Advance one cycle whose wall-clock duration is dt * dt_mult —
+     * used under frequency scaling, where a slower clock stretches the
+     * real time each simulated cycle covers.
+     */
+    void stepScaled(const PowerVector &power, double dt_mult);
+
+    /**
+     * Advance `cycles` cycles exactly, assuming the given power is
+     * constant over the span (closed-form exponential update).
+     */
+    void stepExact(const PowerVector &power, std::uint64_t cycles);
+
+    /** Jump every block to its steady state under the given power. */
+    void warmStart(const PowerVector &power);
+
+    /** Set every block to the given temperature. */
+    void setUniform(Celsius t);
+
+    const TemperatureVector &temperatures() const { return temps_; }
+
+    /** Steady-state temperature of a block at the given power. */
+    Celsius steadyState(StructureId id, Watts p) const;
+
+    const ThermalConfig &config() const { return cfg_; }
+    const Floorplan &floorplan() const { return floorplan_; }
+    double dt() const { return dt_; }
+
+  private:
+    const Floorplan &floorplan_;
+    ThermalConfig cfg_;
+    double dt_;
+    TemperatureVector temps_;
+    // Cached per-block coefficients.
+    std::array<double, kNumStructures> inv_c_{};  ///< dt / C
+    std::array<double, kNumStructures> inv_rc_{}; ///< dt / (R*C)
+};
+
+/** The paper's detailed RC network (Figure 3B) with tangential paths. */
+class FullRCModel
+{
+  public:
+    FullRCModel(const Floorplan &floorplan, const ThermalConfig &cfg,
+                double dt_seconds);
+
+    /** Advance one cycle (forward Euler over the full network). */
+    void step(const PowerVector &power);
+
+    /**
+     * Advance `cycles` cycles under constant power, internally
+     * sub-stepping at a numerically safe interval.
+     */
+    void stepSpan(const PowerVector &power, std::uint64_t cycles);
+
+    /** Set every block and the heatsink node to the given temperature. */
+    void setUniform(Celsius t);
+
+    /** Copy block temperatures (e.g. from a simplified-model state). */
+    void setTemperatures(const TemperatureVector &temps, Celsius sink);
+
+    const TemperatureVector &temperatures() const { return temps_; }
+    Celsius heatsinkTemperature() const { return t_sink_; }
+
+  private:
+    const Floorplan &floorplan_;
+    ThermalConfig cfg_;
+    double dt_;
+    TemperatureVector temps_;
+    Celsius t_sink_;
+    /** Conductances: [i][j] between blocks, [i][N] block to sink. */
+    std::array<std::array<double, kNumStructures + 1>,
+               kNumStructures>
+        conductance_{};
+    double sink_to_ambient_g_ = 0.0;
+};
+
+/** Chip-wide single-RC model (paper Table 3 "chip" row). */
+class ChipLevelModel
+{
+  public:
+    ChipLevelModel(const FloorplanConfig &cfg, Celsius initial,
+                   double dt_seconds);
+
+    /** Advance one cycle with the given total chip power. */
+    void step(Watts total_power);
+
+    /** Advance many cycles under constant power (exact exponential). */
+    void stepExact(Watts total_power, std::uint64_t cycles);
+
+    Celsius temperature() const { return temp_; }
+
+    /** @return the chip-level time constant R*C in seconds. */
+    double timeConstant() const { return r_ * c_; }
+
+  private:
+    double r_;
+    double c_;
+    Celsius ambient_;
+    Celsius temp_;
+    double dt_;
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_THERMAL_RC_MODEL_HH

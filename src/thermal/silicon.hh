@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Material properties of silicon used to derive block thermal R and C
+ * (paper Section 4.3): thermal resistivity and volumetric heat capacity,
+ * including their weak temperature dependence ("the variation is small").
+ */
+
+#ifndef THERMCTL_THERMAL_SILICON_HH
+#define THERMCTL_THERMAL_SILICON_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace thermctl::silicon
+{
+
+/**
+ * Thermal resistivity of silicon, (m*K)/W.
+ *
+ * Bulk silicon conductivity is ~148 W/(m*K) at 27 C and falls roughly as
+ * T^-1.3 (absolute); around the 100-110 C operating points the paper
+ * targets this gives ~0.0095-0.011 (m*K)/W, i.e. the paper's approximate
+ * 0.01.
+ */
+inline double
+thermalResistivity(Celsius t_c)
+{
+    const double t_k = t_c + 273.15;
+    const double k300 = 148.0; // W/(m*K) at 300 K
+    const double k = k300 * std::pow(300.0 / t_k, 1.3);
+    return 1.0 / k;
+}
+
+/**
+ * Volumetric heat capacity of silicon, J/(m^3*K): density 2330 kg/m^3 x
+ * specific heat ~0.75 J/(g*K) near operating temperature, weakly
+ * increasing with temperature.
+ */
+inline double
+volumetricHeatCapacity(Celsius t_c)
+{
+    const double t_k = t_c + 273.15;
+    // Linearized around 300-400 K; ~1.66e6 at 300 K rising to ~1.80e6.
+    return 1.66e6 + 1.4e3 * (t_k - 300.0);
+}
+
+} // namespace thermctl::silicon
+
+#endif // THERMCTL_THERMAL_SILICON_HH

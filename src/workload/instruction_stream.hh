@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Abstract source of pre-decoded micro-ops for the core.
+ *
+ * Streams play the role of SimpleScalar EIO traces in the paper's
+ * methodology: they supply the committed (correct) execution path, and the
+ * core consults the stream again to synthesize plausible wrong-path ops
+ * after a branch misprediction.
+ */
+
+#ifndef THERMCTL_WORKLOAD_INSTRUCTION_STREAM_HH
+#define THERMCTL_WORKLOAD_INSTRUCTION_STREAM_HH
+
+#include "isa/micro_op.hh"
+
+namespace thermctl
+{
+
+/** Interface for correct-path micro-op sources. */
+class InstructionStream
+{
+  public:
+    virtual ~InstructionStream() = default;
+
+    /**
+     * Produce the next correct-path micro-op. Calling next() advances the
+     * stream; the core buffers ops it has fetched but not yet committed.
+     */
+    virtual MicroOp next() = 0;
+
+    /**
+     * Synthesize a plausible wrong-path micro-op at the given PC. Wrong
+     * path ops occupy pipeline resources and consume power until the
+     * mispredicted branch resolves, but never commit.
+     */
+    virtual MicroOp synthesizeAt(Addr pc) = 0;
+
+    /**
+     * @return true when the stream is exhausted. Synthetic workloads are
+     * infinite and always return false.
+     */
+    virtual bool done() const { return false; }
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_WORKLOAD_INSTRUCTION_STREAM_HH

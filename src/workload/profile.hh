@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameter set describing a synthetic benchmark.
+ *
+ * A WorkloadProfile captures the program characteristics that matter to the
+ * paper's thermal study: instruction mix (which structures are exercised),
+ * dependency distances (ILP, hence sustained activity), branch-pattern
+ * predictability (fetch efficiency and bpred heating), memory footprints
+ * (cache miss rates, hence stall behaviour and D-cache heating), code
+ * footprint (I-cache behaviour), and phase structure (thermal burstiness).
+ *
+ * The 18 named profiles in spec_profiles.cc stand in for the paper's 18
+ * SPEC CPU2000 benchmarks; see DESIGN.md §2 for the substitution argument.
+ */
+
+#ifndef THERMCTL_WORKLOAD_PROFILE_HH
+#define THERMCTL_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thermctl
+{
+
+/** Thermal-behaviour categories from paper Table 5. */
+enum class ThermalCategory
+{
+    Extreme,  ///< spends time in actual thermal emergency
+    High,     ///< long stretches within 1 degree of emergency
+    Medium,   ///< some thermal stress, no emergencies
+    Low,      ///< never near thermal stress
+};
+
+/** @return printable category name. */
+const char *thermalCategoryName(ThermalCategory cat);
+
+/** Behavioural classes for synthesized static branches. */
+enum class BranchKind
+{
+    LoopBack,     ///< backward loop branch with a fixed trip count
+    Biased,       ///< highly biased conditional (taken with prob ~0.9)
+    Patterned,    ///< repeating short direction pattern (learnable)
+    Random,       ///< coin-flip direction (bounds predictor accuracy)
+};
+
+/** Relative frequencies of instruction classes (normalized at use). */
+struct InstructionMix
+{
+    double int_alu = 0.40;
+    double int_mult = 0.01;
+    double int_div = 0.002;
+    double fp_alu = 0.05;
+    double fp_mult = 0.02;
+    double fp_div = 0.002;
+    double load = 0.25;
+    double store = 0.12;
+    double branch = 0.15;
+
+    /** @return the sum of all class weights. */
+    double total() const;
+};
+
+/**
+ * One execution phase. Phases repeat cyclically and scale selected
+ * profile parameters, producing the temporal non-uniformity in power
+ * density that the paper's Section 4.2 calls out (bursty programs such as
+ * art vs. steady ones such as mesa).
+ */
+struct WorkloadPhase
+{
+    /** Committed instructions spent in this phase per visit. */
+    std::uint64_t length_insts = 200000;
+
+    /** Multiplier on FP-class weights during the phase. */
+    double fp_scale = 1.0;
+
+    /** Multiplier on memory-class weights during the phase. */
+    double mem_scale = 1.0;
+
+    /** Overrides the profile's cold-access probability when >= 0. */
+    double cold_frac_override = -1.0;
+
+    /** Overrides the profile's dependency-chain parameter when > 0. */
+    double dep_p_override = 0.0;
+
+    /** Overrides the random-branch fraction when >= 0. */
+    double random_branch_override = -1.0;
+};
+
+/** Complete description of a synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name = "generic";
+    ThermalCategory category = ThermalCategory::Medium;
+
+    /** Base instruction mix (phases may scale parts of it). */
+    InstructionMix mix;
+
+    /**
+     * Geometric parameter p in (0,1] for register dependency distance:
+     * a source register depends on the (1 + Geom(p))-th most recent
+     * producer. Large p -> short chains -> serialized, low ILP.
+     * Small p -> long distances -> high ILP.
+     */
+    double dep_p = 0.35;
+
+    /** Probability a micro-op has a second source operand. */
+    double second_src_prob = 0.5;
+
+    // ----------------------------------------------------------- branches
+    /** Fraction of synthesized static branches of each kind. */
+    double frac_loop_branches = 0.50;
+    double frac_biased_branches = 0.30;
+    double frac_patterned_branches = 0.10;
+    double frac_random_branches = 0.10;
+
+    /** Mean loop trip count for LoopBack branches (geometric). */
+    double mean_trip_count = 12.0;
+
+    /** Probability a basic block ends in a call (paired with return). */
+    double call_prob = 0.02;
+
+    // ------------------------------------------------------------- memory
+    /**
+     * Access-region probabilities. hot fits in L1D, warm in L2, cold in
+     * main memory; they must sum to <= 1 (the remainder goes to hot).
+     */
+    double warm_frac = 0.06;
+    double cold_frac = 0.01;
+
+    /** Footprint of each region in bytes. */
+    std::uint64_t hot_bytes = 32 * 1024;
+    std::uint64_t warm_bytes = 1024 * 1024;
+    std::uint64_t cold_bytes = 64ull * 1024 * 1024;
+
+    /** Probability a memory access continues a sequential stride walk. */
+    double stride_frac = 0.6;
+
+    // --------------------------------------------------------------- code
+    /**
+     * Number of static basic blocks in the synthetic program. The basic
+     * blocks are laid out contiguously; large values exceed the 64 KB
+     * I-cache (16 K instructions) and produce I-fetch misses (gcc-like).
+     */
+    std::uint32_t num_blocks = 256;
+
+    /** Mean basic-block length in micro-ops. */
+    double mean_block_len = 7.0;
+
+    // -------------------------------------------------------------- phases
+    /** Cyclic phase schedule; empty means one uniform phase. */
+    std::vector<WorkloadPhase> phases;
+
+    /** Seed folded into the generator (per-benchmark stream separation). */
+    std::uint64_t seed = 1;
+};
+
+} // namespace thermctl
+
+#endif // THERMCTL_WORKLOAD_PROFILE_HH

@@ -1,0 +1,434 @@
+#include "workload/spec_profiles.hh"
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+namespace
+{
+
+/** Common scaffolding: name, category, deterministic per-benchmark seed. */
+WorkloadProfile
+base(const std::string &name, ThermalCategory cat, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.category = cat;
+    p.seed = seed;
+    return p;
+}
+
+// ----------------------------------------------------------------- extreme
+
+/** gcc: integer, huge code footprint, high sustained activity. */
+WorkloadProfile
+makeGcc()
+{
+    auto p = base("176.gcc", ThermalCategory::Extreme, 176);
+    p.mix = {.int_alu = 0.44, .int_mult = 0.01, .int_div = 0.001,
+             .fp_alu = 0.01, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.29, .store = 0.14, .branch = 0.15};
+    p.dep_p = 0.13;
+    p.frac_loop_branches = 0.45;
+    p.frac_biased_branches = 0.38;
+    p.frac_patterned_branches = 0.12;
+    p.frac_random_branches = 0.05;
+    p.num_blocks = 6000;           // ~170 KB of code: real I-cache misses
+    p.hot_bytes = 24 * 1024;
+    p.warm_frac = 0.03;
+    p.cold_frac = 0.002;
+    return p;
+}
+
+/** equake: FP with alternating compute / memory phases. */
+WorkloadProfile
+makeEquake()
+{
+    auto p = base("183.equake", ThermalCategory::Extreme, 183);
+    p.mix = {.int_alu = 0.22, .int_mult = 0.005, .int_div = 0.0,
+             .fp_alu = 0.26, .fp_mult = 0.12, .fp_div = 0.003,
+             .load = 0.27, .store = 0.08, .branch = 0.10};
+    p.dep_p = 0.20;
+    p.mean_block_len = 9.0;
+    p.frac_loop_branches = 0.70;
+    p.frac_biased_branches = 0.20;
+    p.frac_patterned_branches = 0.05;
+    p.frac_random_branches = 0.05;
+    p.phases = {
+        {.length_insts = 250000, .fp_scale = 1.8, .mem_scale = 0.8,
+         .cold_frac_override = 0.001, .dep_p_override = 0.14},
+        {.length_insts = 150000, .fp_scale = 0.7, .mem_scale = 1.4,
+         .cold_frac_override = 0.03, .dep_p_override = 0.35},
+    };
+    return p;
+}
+
+/** fma3d: dense FP, long dependence-free runs -> hottest FP unit. */
+WorkloadProfile
+makeFma3d()
+{
+    auto p = base("191.fma3d", ThermalCategory::Extreme, 191);
+    p.mix = {.int_alu = 0.18, .int_mult = 0.0, .int_div = 0.0,
+             .fp_alu = 0.30, .fp_mult = 0.18, .fp_div = 0.004,
+             .load = 0.22, .store = 0.10, .branch = 0.10};
+    p.dep_p = 0.16;
+    p.mean_block_len = 10.0;
+    p.frac_loop_branches = 0.80;
+    p.frac_biased_branches = 0.15;
+    p.frac_patterned_branches = 0.03;
+    p.frac_random_branches = 0.02;
+    p.mean_trip_count = 32.0;
+    p.hot_bytes = 28 * 1024;
+    p.warm_frac = 0.04;
+    p.cold_frac = 0.002;
+    return p;
+}
+
+/** perlbmk: branchy integer interpreter with frequent calls. */
+WorkloadProfile
+makePerlbmk()
+{
+    auto p = base("253.perlbmk", ThermalCategory::Extreme, 253);
+    p.mix = {.int_alu = 0.46, .int_mult = 0.005, .int_div = 0.001,
+             .fp_alu = 0.005, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.28, .store = 0.12, .branch = 0.18};
+    p.dep_p = 0.15;
+    p.mean_block_len = 4.5;       // branch every ~4.5 ops -> hot bpred
+    p.call_prob = 0.08;
+    p.frac_loop_branches = 0.34;
+    p.frac_biased_branches = 0.45;
+    p.frac_patterned_branches = 0.15;
+    p.frac_random_branches = 0.06;
+    p.num_blocks = 2048;
+    p.hot_bytes = 20 * 1024;
+    p.warm_frac = 0.03;
+    p.cold_frac = 0.002;
+    return p;
+}
+
+/** crafty: chess; very high-ILP integer with small, L1-resident data. */
+WorkloadProfile
+makeCrafty()
+{
+    auto p = base("186.crafty", ThermalCategory::Extreme, 186);
+    p.mix = {.int_alu = 0.52, .int_mult = 0.01, .int_div = 0.0,
+             .fp_alu = 0.0, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.24, .store = 0.08, .branch = 0.15};
+    p.dep_p = 0.14;
+    p.mean_block_len = 6.0;
+    p.frac_loop_branches = 0.40;
+    p.frac_biased_branches = 0.35;
+    p.frac_patterned_branches = 0.15;
+    p.frac_random_branches = 0.10;
+    p.hot_bytes = 16 * 1024;
+    p.warm_frac = 0.02;
+    p.cold_frac = 0.001;
+    return p;
+}
+
+/** apsi: FP weather code; mixed FP/memory, steady and hot. */
+WorkloadProfile
+makeApsi()
+{
+    auto p = base("301.apsi", ThermalCategory::Extreme, 301);
+    p.mix = {.int_alu = 0.24, .int_mult = 0.005, .int_div = 0.0,
+             .fp_alu = 0.25, .fp_mult = 0.13, .fp_div = 0.005,
+             .load = 0.23, .store = 0.09, .branch = 0.10};
+    p.dep_p = 0.18;
+    p.mean_block_len = 9.0;
+    p.frac_loop_branches = 0.75;
+    p.frac_biased_branches = 0.18;
+    p.frac_patterned_branches = 0.04;
+    p.frac_random_branches = 0.03;
+    p.warm_frac = 0.05;
+    p.cold_frac = 0.006;
+    return p;
+}
+
+/**
+ * art: the paper's canonical bursty program — short intense FP bursts
+ * separated by long memory-bound stretches, so it spends little total time
+ * above the stress level but a large fraction of that time in emergency.
+ */
+WorkloadProfile
+makeArt()
+{
+    auto p = base("179.art", ThermalCategory::Extreme, 179);
+    p.mix = {.int_alu = 0.20, .int_mult = 0.0, .int_div = 0.0,
+             .fp_alu = 0.28, .fp_mult = 0.14, .fp_div = 0.002,
+             .load = 0.26, .store = 0.06, .branch = 0.10};
+    p.dep_p = 0.25;
+    p.mean_block_len = 9.0;
+    p.frac_loop_branches = 0.80;
+    p.frac_biased_branches = 0.15;
+    p.frac_patterned_branches = 0.03;
+    p.frac_random_branches = 0.02;
+    p.phases = {
+        {.length_insts = 250000, .fp_scale = 1.8, .mem_scale = 0.7,
+         .cold_frac_override = 0.0005, .dep_p_override = 0.13},
+        {.length_insts = 250000, .fp_scale = 0.5, .mem_scale = 1.5,
+         .cold_frac_override = 0.05, .dep_p_override = 0.60},
+    };
+    return p;
+}
+
+/** bzip2: integer compression, load/store heavy, L2-resident data. */
+WorkloadProfile
+makeBzip2()
+{
+    auto p = base("256.bzip2", ThermalCategory::Extreme, 256);
+    p.mix = {.int_alu = 0.44, .int_mult = 0.005, .int_div = 0.0,
+             .fp_alu = 0.0, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.30, .store = 0.14, .branch = 0.12};
+    p.dep_p = 0.14;
+    p.mean_block_len = 8.0;
+    p.frac_loop_branches = 0.55;
+    p.frac_biased_branches = 0.30;
+    p.frac_patterned_branches = 0.10;
+    p.frac_random_branches = 0.05;
+    p.warm_frac = 0.04;
+    p.cold_frac = 0.002;
+    return p;
+}
+
+// -------------------------------------------------------------------- high
+
+/** mesa: steady FP rendering; sits just below emergency for most cycles. */
+WorkloadProfile
+makeMesa()
+{
+    auto p = base("177.mesa", ThermalCategory::High, 177);
+    p.mix = {.int_alu = 0.30, .int_mult = 0.005, .int_div = 0.0,
+             .fp_alu = 0.20, .fp_mult = 0.09, .fp_div = 0.003,
+             .load = 0.24, .store = 0.09, .branch = 0.12};
+    p.dep_p = 0.21;
+    p.mean_block_len = 8.0;
+    p.frac_loop_branches = 0.60;
+    p.frac_biased_branches = 0.28;
+    p.frac_patterned_branches = 0.07;
+    p.frac_random_branches = 0.05;
+    p.hot_bytes = 24 * 1024;
+    p.warm_frac = 0.04;
+    p.cold_frac = 0.003;
+    return p;
+}
+
+/** facerec: steady FP image processing, similar to mesa. */
+WorkloadProfile
+makeFacerec()
+{
+    auto p = base("187.facerec", ThermalCategory::High, 187);
+    p.mix = {.int_alu = 0.26, .int_mult = 0.005, .int_div = 0.0,
+             .fp_alu = 0.22, .fp_mult = 0.10, .fp_div = 0.002,
+             .load = 0.25, .store = 0.08, .branch = 0.10};
+    p.dep_p = 0.22;
+    p.mean_block_len = 9.0;
+    p.frac_loop_branches = 0.72;
+    p.frac_biased_branches = 0.20;
+    p.frac_patterned_branches = 0.05;
+    p.frac_random_branches = 0.03;
+    p.warm_frac = 0.05;
+    p.cold_frac = 0.004;
+    return p;
+}
+
+/** eon: C++ ray tracer; call-heavy mixed int/FP. */
+WorkloadProfile
+makeEon()
+{
+    auto p = base("252.eon", ThermalCategory::High, 252);
+    p.mix = {.int_alu = 0.36, .int_mult = 0.01, .int_div = 0.001,
+             .fp_alu = 0.14, .fp_mult = 0.06, .fp_div = 0.004,
+             .load = 0.26, .store = 0.10, .branch = 0.13};
+    p.dep_p = 0.22;
+    p.mean_block_len = 6.0;
+    p.call_prob = 0.08;
+    p.frac_loop_branches = 0.35;
+    p.frac_biased_branches = 0.45;
+    p.frac_patterned_branches = 0.12;
+    p.frac_random_branches = 0.08;
+    p.hot_bytes = 20 * 1024;
+    p.warm_frac = 0.04;
+    p.cold_frac = 0.002;
+    return p;
+}
+
+/** vortex: integer OO database; load/store heavy, warm working set. */
+WorkloadProfile
+makeVortex()
+{
+    auto p = base("255.vortex", ThermalCategory::High, 255);
+    p.mix = {.int_alu = 0.40, .int_mult = 0.005, .int_div = 0.0,
+             .fp_alu = 0.0, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.30, .store = 0.15, .branch = 0.14};
+    p.dep_p = 0.20;
+    p.mean_block_len = 7.0;
+    p.call_prob = 0.04;
+    p.frac_loop_branches = 0.35;
+    p.frac_biased_branches = 0.45;
+    p.frac_patterned_branches = 0.10;
+    p.frac_random_branches = 0.10;
+    p.num_blocks = 3000;
+    p.warm_frac = 0.09;
+    p.cold_frac = 0.004;
+    return p;
+}
+
+// ------------------------------------------------------------------ medium
+
+/** parser: integer with hard-to-predict branches; persistently stressed. */
+WorkloadProfile
+makeParser()
+{
+    auto p = base("197.parser", ThermalCategory::High, 197);
+    p.mix = {.int_alu = 0.42, .int_mult = 0.005, .int_div = 0.001,
+             .fp_alu = 0.0, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.28, .store = 0.11, .branch = 0.17};
+    p.dep_p = 0.40;
+    p.mean_block_len = 5.5;
+    p.frac_loop_branches = 0.25;
+    p.frac_biased_branches = 0.35;
+    p.frac_patterned_branches = 0.12;
+    p.frac_random_branches = 0.28;
+    p.warm_frac = 0.07;
+    p.cold_frac = 0.008;
+    return p;
+}
+
+/** twolf: place-and-route; larger working set, moderate ILP. */
+WorkloadProfile
+makeTwolf()
+{
+    auto p = base("300.twolf", ThermalCategory::Medium, 300);
+    p.mix = {.int_alu = 0.40, .int_mult = 0.01, .int_div = 0.002,
+             .fp_alu = 0.04, .fp_mult = 0.01, .fp_div = 0.001,
+             .load = 0.28, .store = 0.10, .branch = 0.15};
+    p.dep_p = 0.34;
+    p.mean_block_len = 6.5;
+    p.frac_loop_branches = 0.35;
+    p.frac_biased_branches = 0.35;
+    p.frac_patterned_branches = 0.10;
+    p.frac_random_branches = 0.20;
+    p.warm_frac = 0.13;
+    p.cold_frac = 0.012;
+    return p;
+}
+
+/** gap: group theory; persistently within a degree of emergency. */
+WorkloadProfile
+makeGap()
+{
+    auto p = base("254.gap", ThermalCategory::High, 254);
+    p.mix = {.int_alu = 0.42, .int_mult = 0.02, .int_div = 0.002,
+             .fp_alu = 0.01, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.27, .store = 0.10, .branch = 0.14};
+    p.dep_p = 0.42;
+    p.mean_block_len = 7.0;
+    p.frac_loop_branches = 0.45;
+    p.frac_biased_branches = 0.30;
+    p.frac_patterned_branches = 0.10;
+    p.frac_random_branches = 0.15;
+    p.warm_frac = 0.08;
+    p.cold_frac = 0.008;
+    return p;
+}
+
+// --------------------------------------------------------------------- low
+
+/** gzip: streaming compression; modest sustained activity. */
+WorkloadProfile
+makeGzip()
+{
+    auto p = base("164.gzip", ThermalCategory::Low, 164);
+    p.mix = {.int_alu = 0.38, .int_mult = 0.002, .int_div = 0.0,
+             .fp_alu = 0.0, .fp_mult = 0.0, .fp_div = 0.0,
+             .load = 0.30, .store = 0.14, .branch = 0.16};
+    p.dep_p = 0.45;
+    p.mean_block_len = 6.0;
+    p.frac_loop_branches = 0.40;
+    p.frac_biased_branches = 0.30;
+    p.frac_patterned_branches = 0.10;
+    p.frac_random_branches = 0.20;
+    p.warm_frac = 0.18;
+    p.cold_frac = 0.012;
+    return p;
+}
+
+/** wupwise: FP but memory bound; long dependence chains. */
+WorkloadProfile
+makeWupwise()
+{
+    auto p = base("168.wupwise", ThermalCategory::Medium, 168);
+    p.mix = {.int_alu = 0.24, .int_mult = 0.0, .int_div = 0.0,
+             .fp_alu = 0.17, .fp_mult = 0.08, .fp_div = 0.004,
+             .load = 0.30, .store = 0.09, .branch = 0.10};
+    p.dep_p = 0.48;
+    p.mean_block_len = 9.0;
+    p.frac_loop_branches = 0.70;
+    p.frac_biased_branches = 0.20;
+    p.frac_patterned_branches = 0.05;
+    p.frac_random_branches = 0.05;
+    p.warm_frac = 0.10;
+    p.cold_frac = 0.024;
+    return p;
+}
+
+/** vpr: pointer chasing over a cold graph; the coolest benchmark. */
+WorkloadProfile
+makeVpr()
+{
+    auto p = base("175.vpr", ThermalCategory::Low, 175);
+    p.mix = {.int_alu = 0.36, .int_mult = 0.005, .int_div = 0.001,
+             .fp_alu = 0.06, .fp_mult = 0.02, .fp_div = 0.002,
+             .load = 0.32, .store = 0.08, .branch = 0.15};
+    p.dep_p = 0.55;
+    p.mean_block_len = 6.0;
+    p.stride_frac = 0.2;
+    p.frac_loop_branches = 0.30;
+    p.frac_biased_branches = 0.30;
+    p.frac_patterned_branches = 0.10;
+    p.frac_random_branches = 0.30;
+    p.warm_frac = 0.10;
+    p.cold_frac = 0.030;
+    return p;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+allSpecProfiles()
+{
+    // Paper Table 4 order.
+    return {
+        makeGzip(), makeWupwise(), makeVpr(), makeGcc(), makeMesa(),
+        makeArt(), makeEquake(), makeCrafty(), makeFacerec(), makeFma3d(),
+        makeParser(), makeEon(), makePerlbmk(), makeGap(), makeVortex(),
+        makeBzip2(), makeTwolf(), makeApsi(),
+    };
+}
+
+std::vector<std::string>
+specProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : allSpecProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+WorkloadProfile
+specProfile(const std::string &name)
+{
+    for (auto &p : allSpecProfiles()) {
+        // Accept both "176.gcc" and "gcc".
+        if (p.name == name)
+            return p;
+        auto dot = p.name.find('.');
+        if (dot != std::string::npos && p.name.substr(dot + 1) == name)
+            return p;
+    }
+    fatal("unknown benchmark profile '", name, "'");
+}
+
+} // namespace thermctl

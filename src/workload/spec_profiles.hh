@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The 18 named workload profiles standing in for the paper's SPEC CPU2000
+ * benchmark selection (paper Tables 4 and 5).
+ *
+ * The profiles are tuned so the set spans the paper's four categories of
+ * thermal behaviour:
+ *  - extreme: actually enters thermal emergency without DTM
+ *    (gcc, equake, fma3d, perlbmk, crafty, apsi, bzip2, and the bursty art);
+ *  - high: long stretches within 1 degree of emergency but essentially no
+ *    emergencies (mesa, facerec, eon, vortex — the paper singles these out
+ *    as spending up to 98% of cycles above the stress level);
+ *  - medium: some thermal stress (parser, twolf, gap);
+ *  - low: never near thermal stress (gzip, wupwise, vpr).
+ */
+
+#ifndef THERMCTL_WORKLOAD_SPEC_PROFILES_HH
+#define THERMCTL_WORKLOAD_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace thermctl
+{
+
+/** @return all 18 benchmark profiles in the paper's Table 4 order. */
+std::vector<WorkloadProfile> allSpecProfiles();
+
+/** @return the profile with the given name; fatal() if unknown. */
+WorkloadProfile specProfile(const std::string &name);
+
+/** @return the names of all 18 profiles in Table 4 order. */
+std::vector<std::string> specProfileNames();
+
+} // namespace thermctl
+
+#endif // THERMCTL_WORKLOAD_SPEC_PROFILES_HH

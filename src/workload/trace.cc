@@ -1,0 +1,216 @@
+#include "workload/trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+namespace
+{
+
+/** On-disk fixed-size record; explicitly packed field by field. */
+struct TraceRecord
+{
+    std::uint64_t pc;
+    std::uint64_t mem_addr;
+    std::uint64_t target;
+    std::uint16_t src0;
+    std::uint16_t src1;
+    std::uint16_t dest;
+    std::uint8_t op;
+    std::uint8_t num_srcs;
+    std::uint8_t mem_size;
+    std::uint8_t flags;
+    std::uint8_t pad[2];
+};
+static_assert(sizeof(TraceRecord) == 36 || sizeof(TraceRecord) == 40,
+              "TraceRecord layout unexpectedly changed");
+
+constexpr std::uint8_t kFlagBranch = 1 << 0;
+constexpr std::uint8_t kFlagConditional = 1 << 1;
+constexpr std::uint8_t kFlagCall = 1 << 2;
+constexpr std::uint8_t kFlagReturn = 1 << 3;
+constexpr std::uint8_t kFlagTaken = 1 << 4;
+
+TraceRecord
+pack(const MicroOp &op)
+{
+    TraceRecord rec{};
+    rec.pc = op.pc;
+    rec.mem_addr = op.mem_addr;
+    rec.target = op.target;
+    rec.src0 = op.srcs[0];
+    rec.src1 = op.srcs[1];
+    rec.dest = op.dest;
+    rec.op = static_cast<std::uint8_t>(op.op);
+    rec.num_srcs = op.num_srcs;
+    rec.mem_size = op.mem_size;
+    rec.flags = 0;
+    if (op.is_branch)
+        rec.flags |= kFlagBranch;
+    if (op.is_conditional)
+        rec.flags |= kFlagConditional;
+    if (op.is_call)
+        rec.flags |= kFlagCall;
+    if (op.is_return)
+        rec.flags |= kFlagReturn;
+    if (op.taken)
+        rec.flags |= kFlagTaken;
+    return rec;
+}
+
+MicroOp
+unpack(const TraceRecord &rec)
+{
+    MicroOp op;
+    op.pc = rec.pc;
+    op.mem_addr = rec.mem_addr;
+    op.target = rec.target;
+    op.srcs[0] = rec.src0;
+    op.srcs[1] = rec.src1;
+    op.dest = rec.dest;
+    op.op = static_cast<OpClass>(rec.op);
+    op.num_srcs = rec.num_srcs;
+    op.mem_size = rec.mem_size;
+    op.is_branch = rec.flags & kFlagBranch;
+    op.is_conditional = rec.flags & kFlagConditional;
+    op.is_call = rec.flags & kFlagCall;
+    op.is_return = rec.flags & kFlagReturn;
+    op.taken = rec.flags & kFlagTaken;
+    return op;
+}
+
+struct TraceHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+} // namespace
+
+// ----------------------------------------------------------------- writer
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
+{
+    if (!out_)
+        fatal("cannot open trace file for writing: ", path);
+    TraceHeader hdr{kTraceMagic, kTraceVersion, 0};
+    out_.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed_) {
+        try {
+            close();
+        } catch (...) {
+            // Destructors must not throw; the file may be truncated.
+        }
+    }
+}
+
+void
+TraceWriter::append(const MicroOp &op)
+{
+    if (closed_)
+        panic("TraceWriter::append after close");
+    TraceRecord rec = pack(op);
+    out_.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    TraceHeader hdr{kTraceMagic, kTraceVersion, count_};
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+    out_.flush();
+    if (!out_)
+        fatal("I/O error finalizing trace file: ", path_);
+    out_.close();
+}
+
+// ----------------------------------------------------------------- reader
+
+TraceReader::TraceReader(const std::string &path, bool loop)
+    : loop_(loop), wrong_rng_(0x77707274)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file for reading: ", path);
+    TraceHeader hdr{};
+    in.read(reinterpret_cast<char *>(&hdr), sizeof(hdr));
+    if (!in || hdr.magic != kTraceMagic)
+        fatal("not a thermctl trace file: ", path);
+    if (hdr.version != kTraceVersion)
+        fatal("unsupported trace version ", hdr.version, " in ", path);
+    ops_.reserve(hdr.count);
+    for (std::uint64_t i = 0; i < hdr.count; ++i) {
+        TraceRecord rec{};
+        in.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+        if (!in)
+            fatal("truncated trace file: ", path);
+        ops_.push_back(unpack(rec));
+    }
+    if (ops_.empty())
+        fatal("empty trace file: ", path);
+}
+
+MicroOp
+TraceReader::next()
+{
+    if (wrap_jump_pending_) {
+        wrap_jump_pending_ = false;
+        return wrap_jump_;
+    }
+    if (done())
+        panic("TraceReader::next past end of trace");
+    MicroOp op = ops_[pos_++];
+    if (loop_ && pos_ == ops_.size()) {
+        pos_ = 0;
+        // Stitch the wrap with a synthetic jump when the last op does
+        // not naturally flow into the first.
+        if (op.actualNextPc() != ops_.front().pc) {
+            wrap_jump_ = MicroOp{};
+            wrap_jump_.pc = op.actualNextPc();
+            wrap_jump_.op = OpClass::Branch;
+            wrap_jump_.is_branch = true;
+            wrap_jump_.taken = true;
+            wrap_jump_.target = ops_.front().pc;
+            wrap_jump_pending_ = true;
+        }
+    }
+    return op;
+}
+
+bool
+TraceReader::done() const
+{
+    return !loop_ && pos_ >= ops_.size();
+}
+
+MicroOp
+TraceReader::synthesizeAt(Addr pc)
+{
+    // Reuse a random committed op's class/payload, re-addressed to pc.
+    MicroOp op = ops_[wrong_rng_.below(ops_.size())];
+    op.pc = pc;
+    op.is_branch = false;
+    op.is_conditional = false;
+    op.is_call = false;
+    op.is_return = false;
+    op.taken = false;
+    if (op.op == OpClass::Branch)
+        op.op = OpClass::IntAlu;
+    return op;
+}
+
+} // namespace thermctl

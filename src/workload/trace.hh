@@ -1,0 +1,92 @@
+/**
+ * @file
+ * EIO-style binary micro-op traces.
+ *
+ * The paper uses SimpleScalar EIO traces "to ensure reproducible results
+ * for each benchmark across multiple simulations". thermctl workloads are
+ * already deterministic from their seed, but traces additionally allow
+ * capturing a stream once and replaying it bit-identically (e.g., to share
+ * a regression input or to replay a workload into a modified simulator).
+ */
+
+#ifndef THERMCTL_WORKLOAD_TRACE_HH
+#define THERMCTL_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/instruction_stream.hh"
+
+namespace thermctl
+{
+
+/** Records micro-ops into a compact binary trace file. */
+class TraceWriter
+{
+  public:
+    /** Open the file and write the header; fatal() on I/O failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one micro-op. */
+    void append(const MicroOp &op);
+
+    /** Flush and finalize the header's record count. */
+    void close();
+
+    /** Number of records appended so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/**
+ * Replays a binary trace as an InstructionStream.
+ *
+ * When `loop` is true the stream restarts from the beginning upon reaching
+ * the end (useful for driving long simulations from a short captured
+ * trace); otherwise done() becomes true.
+ */
+class TraceReader : public InstructionStream
+{
+  public:
+    explicit TraceReader(const std::string &path, bool loop = false);
+
+    MicroOp next() override;
+    MicroOp synthesizeAt(Addr pc) override;
+    bool done() const override;
+
+    /** Total records in the trace file. */
+    std::uint64_t count() const { return ops_.size(); }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::size_t pos_ = 0;
+    bool loop_;
+    Rng wrong_rng_;
+    /**
+     * Synthetic unconditional jump emitted at the wrap point so the
+     * replayed stream keeps the PC continuity the fetch engine
+     * requires (the capture is usually cut mid-basic-block).
+     */
+    MicroOp wrap_jump_{};
+    bool wrap_jump_pending_ = false;
+};
+
+/** Trace file magic and version (bumped on any format change). */
+inline constexpr std::uint32_t kTraceMagic = 0x54435452; // "TCTR"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+} // namespace thermctl
+
+#endif // THERMCTL_WORKLOAD_TRACE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Tests for the error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+    try {
+        fatal("value was ", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: value was 7");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant"), PanicError);
+}
+
+TEST(Logging, QuietModeToggles)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    warn("this should not appear");
+    inform("nor this");
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+} // namespace
+} // namespace thermctl

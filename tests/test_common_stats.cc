@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit and property tests for the streaming statistics primitives.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace thermctl
+{
+namespace
+{
+
+TEST(Accumulator, EmptyStateIsZeroed)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    Rng rng(7);
+    Accumulator all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(BoxcarAverage, RejectsZeroWindow)
+{
+    EXPECT_THROW(BoxcarAverage(0), FatalError);
+}
+
+TEST(BoxcarAverage, PartialWindowAveragesSeenSamples)
+{
+    BoxcarAverage box(4);
+    EXPECT_DOUBLE_EQ(box.average(), 0.0);
+    box.add(2.0);
+    EXPECT_DOUBLE_EQ(box.average(), 2.0);
+    box.add(4.0);
+    EXPECT_DOUBLE_EQ(box.average(), 3.0);
+    EXPECT_FALSE(box.full());
+}
+
+TEST(BoxcarAverage, EvictsOldestOnceFull)
+{
+    BoxcarAverage box(3);
+    box.add(1.0);
+    box.add(2.0);
+    box.add(3.0);
+    EXPECT_TRUE(box.full());
+    EXPECT_DOUBLE_EQ(box.average(), 2.0);
+    box.add(10.0); // evicts 1.0
+    EXPECT_DOUBLE_EQ(box.average(), 5.0);
+    box.add(10.0); // evicts 2.0
+    EXPECT_NEAR(box.average(), 23.0 / 3.0, 1e-12);
+}
+
+TEST(BoxcarAverage, ResetClears)
+{
+    BoxcarAverage box(2);
+    box.add(5.0);
+    box.reset();
+    EXPECT_EQ(box.size(), 0u);
+    EXPECT_DOUBLE_EQ(box.average(), 0.0);
+}
+
+/** Property: the incremental boxcar equals a naive recomputation. */
+class BoxcarProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BoxcarProperty, MatchesNaiveRecomputation)
+{
+    const std::size_t window = GetParam();
+    BoxcarAverage box(window);
+    Rng rng(window * 977);
+    std::vector<double> samples;
+    for (int i = 0; i < 2000; ++i) {
+        double x = rng.uniform(-5.0, 50.0);
+        samples.push_back(x);
+        box.add(x);
+
+        double naive = 0.0;
+        const std::size_t n = std::min(samples.size(), window);
+        for (std::size_t k = samples.size() - n; k < samples.size(); ++k)
+            naive += samples[k];
+        naive /= static_cast<double>(n);
+        ASSERT_NEAR(box.average(), naive, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, BoxcarProperty,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000));
+
+TEST(EwmaAverage, ConvergesToConstantInput)
+{
+    EwmaAverage ewma(0.2);
+    EXPECT_TRUE(ewma.empty());
+    for (int i = 0; i < 200; ++i)
+        ewma.add(7.0);
+    EXPECT_NEAR(ewma.average(), 7.0, 1e-9);
+}
+
+TEST(EwmaAverage, FirstSampleSeedsValue)
+{
+    EwmaAverage ewma(0.5);
+    ewma.add(10.0);
+    EXPECT_DOUBLE_EQ(ewma.average(), 10.0);
+    ewma.add(0.0);
+    EXPECT_DOUBLE_EQ(ewma.average(), 5.0);
+}
+
+TEST(EwmaAverage, RejectsBadAlpha)
+{
+    EXPECT_THROW(EwmaAverage(0.0), FatalError);
+    EXPECT_THROW(EwmaAverage(1.5), FatalError);
+}
+
+TEST(Histogram, BinBoundariesAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(5.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(5), 6.0);
+}
+
+TEST(Histogram, QuantileOfUniformData)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(42);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(Histogram, RejectsBadConfig)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 10), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+} // namespace
+} // namespace thermctl

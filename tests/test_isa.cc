@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the micro-op format and classification helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/micro_op.hh"
+
+namespace thermctl
+{
+namespace
+{
+
+TEST(OpClass, Names)
+{
+    EXPECT_STREQ(opClassName(OpClass::IntAlu), "ialu");
+    EXPECT_STREQ(opClassName(OpClass::Load), "load");
+    EXPECT_STREQ(opClassName(OpClass::FpDiv), "fdiv");
+    EXPECT_STREQ(opClassName(OpClass::Branch), "branch");
+}
+
+TEST(OpClass, Predicates)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_TRUE(isFpOp(OpClass::FpAlu));
+    EXPECT_TRUE(isFpOp(OpClass::FpMult));
+    EXPECT_TRUE(isFpOp(OpClass::FpDiv));
+    EXPECT_FALSE(isFpOp(OpClass::Load));
+}
+
+TEST(MicroOp, NextPcFollowsFixedEncoding)
+{
+    MicroOp op;
+    op.pc = 0x1000;
+    EXPECT_EQ(op.nextPc(), 0x1004u);
+}
+
+TEST(MicroOp, ActualNextPcForBranches)
+{
+    MicroOp op;
+    op.pc = 0x1000;
+    op.op = OpClass::Branch;
+    op.is_branch = true;
+    op.target = 0x2000;
+
+    op.taken = true;
+    EXPECT_EQ(op.actualNextPc(), 0x2000u);
+    op.taken = false;
+    EXPECT_EQ(op.actualNextPc(), 0x1004u);
+}
+
+TEST(MicroOp, DestDetection)
+{
+    MicroOp op;
+    EXPECT_FALSE(op.hasDest());
+    op.dest = 5;
+    EXPECT_TRUE(op.hasDest());
+}
+
+TEST(MicroOp, ToStringMentionsKeyFields)
+{
+    MicroOp op;
+    op.pc = 0x400000;
+    op.op = OpClass::Load;
+    op.dest = 3;
+    op.num_srcs = 1;
+    op.srcs[0] = 1;
+    op.mem_addr = 0xdead0;
+    const std::string s = op.toString();
+    EXPECT_NE(s.find("load"), std::string::npos);
+    EXPECT_NE(s.find("400000"), std::string::npos);
+    EXPECT_NE(s.find("dead0"), std::string::npos);
+}
+
+TEST(Registers, FpRegsFollowIntRegs)
+{
+    EXPECT_EQ(kFirstFpReg, 32);
+    EXPECT_EQ(kNumArchRegs, 64);
+}
+
+} // namespace
+} // namespace thermctl

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * thermctl_run — command-line front end for single simulations.
+ *
+ * Usage:
+ *   thermctl_run [options]
+ *     --bench NAME       benchmark profile (default 186.crafty); any of
+ *                        the 18 SPEC2000-like names, with or without
+ *                        the numeric prefix
+ *     --trace PATH       replay a recorded micro-op trace instead
+ *     --policy NAME      none|toggle1|toggle2|M|P|PI|PID|throttle|
+ *                        spec-ctrl|vf-scaling   (default none)
+ *     --warmup N         warm-up cycles (default 300000)
+ *     --cycles N         measured cycles (default 1000000)
+ *     --setpoint T       CT setpoint in C (default 111.6)
+ *     --sample N         controller sampling interval (default 1000)
+ *     --csv PATH         append a one-line CSV record of the results
+ *     --trace-temps PATH write a temperature time series (CSV)
+ *     --list             list benchmark profiles and exit
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+namespace
+{
+
+DtmPolicyKind
+parsePolicy(const std::string &name)
+{
+    for (DtmPolicyKind kind :
+         {DtmPolicyKind::None, DtmPolicyKind::Toggle1,
+          DtmPolicyKind::Toggle2, DtmPolicyKind::Manual,
+          DtmPolicyKind::P, DtmPolicyKind::PI, DtmPolicyKind::PID,
+          DtmPolicyKind::Throttle, DtmPolicyKind::SpecControl,
+          DtmPolicyKind::VfScale}) {
+        if (name == dtmPolicyKindName(kind))
+            return kind;
+    }
+    fatal("unknown policy '", name, "'");
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: thermctl_run [--bench NAME | --trace PATH]\n"
+        "                    [--policy none|toggle1|toggle2|M|P|PI|PID|\n"
+        "                     throttle|spec-ctrl|vf-scaling]\n"
+        "                    [--warmup N] [--cycles N] [--setpoint T]\n"
+        "                    [--sample N] [--csv PATH]\n"
+        "                    [--trace-temps PATH] [--list]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg;
+    cfg.workload = specProfile("186.crafty");
+    std::uint64_t warmup = 300000;
+    std::uint64_t cycles = 1000000;
+    std::string csv_path;
+    std::string temps_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        try {
+            if (arg == "--bench") {
+                cfg.workload = specProfile(next());
+            } else if (arg == "--trace") {
+                cfg.trace_path = next();
+            } else if (arg == "--policy") {
+                cfg.policy.kind = parsePolicy(next());
+            } else if (arg == "--warmup") {
+                warmup = std::stoull(next());
+            } else if (arg == "--cycles") {
+                cycles = std::stoull(next());
+            } else if (arg == "--setpoint") {
+                cfg.policy.ct_setpoint = std::stod(next());
+                cfg.policy.ct_range_low = cfg.policy.ct_setpoint - 0.2;
+            } else if (arg == "--sample") {
+                cfg.dtm.sample_interval = std::stoull(next());
+            } else if (arg == "--csv") {
+                csv_path = next();
+            } else if (arg == "--trace-temps") {
+                temps_path = next();
+            } else if (arg == "--list") {
+                for (const auto &name : specProfileNames())
+                    std::cout << name << "\n";
+                return 0;
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else {
+                usage();
+                fatal("unknown option ", arg);
+            }
+        } catch (const FatalError &e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
+    }
+
+    try {
+        Simulator sim(cfg);
+
+        std::ofstream temps_out;
+        if (!temps_path.empty()) {
+            temps_out.open(temps_path);
+            if (!temps_out)
+                fatal("cannot open ", temps_path);
+            temps_out << "cycle";
+            for (std::size_t i = 0; i < kNumHotspotStructures; ++i)
+                temps_out << ','
+                          << structureName(static_cast<StructureId>(i));
+            temps_out << "\n";
+            sim.setProbe(
+                [&](const Simulator &s, Cycle now) {
+                    temps_out << now;
+                    for (std::size_t i = 0; i < kNumHotspotStructures;
+                         ++i) {
+                        temps_out << ','
+                                  << s.thermal().temperatures().value[i];
+                    }
+                    temps_out << "\n";
+                },
+                2000);
+        }
+
+        sim.warmUp(warmup);
+        sim.run(cycles);
+
+        const auto &dtm = sim.dtm().stats();
+        const std::string bench = cfg.trace_path.empty()
+            ? cfg.workload.name
+            : cfg.trace_path;
+        std::cout << "benchmark     : " << bench << "\n"
+                  << "policy        : "
+                  << dtmPolicyKindName(cfg.policy.kind) << "\n"
+                  << "cycles        : " << cycles << "\n"
+                  << "performance   : " << sim.measuredPerformance()
+                  << " (IPC " << sim.measuredIpc() << ")\n"
+                  << "avg power     : " << sim.stats().avgPower()
+                  << " W\n"
+                  << "max temp      : " << dtm.max_temperature << " C\n"
+                  << "emergency     : "
+                  << formatPercent(dtm.emergencyFraction(), 3) << "\n"
+                  << "stress        : "
+                  << formatPercent(dtm.stressFraction(), 1) << "\n"
+                  << "mean duty     : "
+                  << (dtm.samples
+                          ? dtm.duty_sum / double(dtm.samples)
+                          : 1.0)
+                  << "\n";
+
+        if (!csv_path.empty()) {
+            const bool fresh = [&] {
+                std::ifstream probe(csv_path);
+                return !probe.good();
+            }();
+            std::ofstream csv(csv_path, std::ios::app);
+            if (!csv)
+                fatal("cannot open ", csv_path);
+            if (fresh) {
+                csv << "benchmark,policy,cycles,performance,avg_power,"
+                       "max_temp,emergency_frac,stress_frac\n";
+            }
+            csv << bench << ','
+                << dtmPolicyKindName(cfg.policy.kind) << ',' << cycles
+                << ',' << sim.measuredPerformance() << ','
+                << sim.stats().avgPower() << ',' << dtm.max_temperature
+                << ',' << dtm.emergencyFraction() << ','
+                << dtm.stressFraction() << "\n";
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+}
