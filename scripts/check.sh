@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Correctness matrix for thermctl. Runs, in order:
+#
+#   1. format check        (skipped when clang-format is absent)
+#   2. plain build + ctest with -Werror and the physics-invariant
+#      instrumentation compiled in (THERMCTL_INVARIANTS=ON)
+#   3. ASan+UBSan build + ctest (same instrumentation; includes the
+#      property-fuzz suite under the sanitizers)
+#   4. clang-tidy build    (skipped when clang-tidy is absent)
+#
+# Each stage uses its own build tree under build-check/ so the matrix
+# never disturbs an existing build/ directory.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+base="build-check"
+
+stage() { printf '\n=== check.sh: %s ===\n' "$1"; }
+
+stage "format check"
+./scripts/format.sh --check
+
+stage "plain build (-Werror, invariants on) + ctest"
+cmake -B "${base}/plain" -S . \
+    -DTHERMCTL_WERROR=ON -DTHERMCTL_INVARIANTS=ON
+cmake --build "${base}/plain" -j "${jobs}"
+ctest --test-dir "${base}/plain" --output-on-failure -j "${jobs}"
+
+stage "ASan+UBSan build + ctest"
+cmake -B "${base}/asan" -S . \
+    -DTHERMCTL_INVARIANTS=ON "-DTHERMCTL_SANITIZE=address;undefined"
+cmake --build "${base}/asan" -j "${jobs}"
+ctest --test-dir "${base}/asan" --output-on-failure -j "${jobs}"
+
+stage "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B "${base}/tidy" -S . -DTHERMCTL_CLANG_TIDY=ON
+    cmake --build "${base}/tidy" -j "${jobs}"
+else
+    echo "clang-tidy not found; skipping static-analysis stage"
+fi
+
+stage "all stages passed"

@@ -1,0 +1,97 @@
+#include "check/invariants.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace thermctl
+{
+
+namespace check
+{
+
+void
+verifyFinite(const TemperatureVector &temps, const char *where)
+{
+    // Blocks are reported by index: check sits below power/, which owns
+    // the structure-name table.
+    for (StructureId id : kAllStructures) {
+        const double t = temps[id].value();
+        if (!std::isfinite(t)) {
+            panic("invariant [finite]: non-finite temperature ", t,
+                  " for block #", static_cast<int>(id), " in ", where);
+        }
+    }
+}
+
+void
+verifyFinite(const PowerVector &power, const char *where)
+{
+    for (StructureId id : kAllStructures) {
+        const double p = power[id];
+        if (!std::isfinite(p)) {
+            panic("invariant [finite]: non-finite power ", p,
+                  " for block #", static_cast<int>(id), " in ", where);
+        }
+    }
+}
+
+void
+verifyFinite(double v, const char *what, const char *where)
+{
+    if (!std::isfinite(v)) {
+        panic("invariant [finite]: non-finite ", what, " (", v, ") in ",
+              where);
+    }
+}
+
+void
+verifyEulerStable(double dt_over_rc, double limit, const char *where,
+                  const char *block)
+{
+    if (!(dt_over_rc > 0.0) || !(dt_over_rc < limit)) {
+        panic("invariant [euler-stability]: dt/RC = ", dt_over_rc,
+              " outside (0, ", limit, ") for block ", block, " in ",
+              where, " — Eq. 5 forward Euler would diverge");
+    }
+}
+
+void
+verifyPidContract(double output, double integral_term, double out_min,
+                  double out_max, bool integral_clamped, const char *where)
+{
+    if (!std::isfinite(output) || !std::isfinite(integral_term)) {
+        panic("invariant [pid-contract]: non-finite controller state in ",
+              where);
+    }
+    if (output < out_min || output > out_max) {
+        panic("invariant [pid-contract]: output ", output,
+              " escapes actuator range [", out_min, ", ", out_max,
+              "] in ", where);
+    }
+    if (integral_clamped
+        && (integral_term < out_min || integral_term > out_max)) {
+        panic("invariant [pid-contract]: integral term ", integral_term,
+              " escapes [", out_min, ", ", out_max,
+              "] despite anti-windup clamp in ", where);
+    }
+}
+
+void
+EnergyAudit::verify(const char *where) const
+{
+    const double stored_delta = after_ - before_;
+    const double net_in = input_ - loss_;
+    const double scale = std::abs(before_) + std::abs(after_)
+        + std::abs(input_) + std::abs(loss_) + 1.0;
+    const double err = std::abs(stored_delta - net_in);
+    if (!std::isfinite(err) || err > 1e-9 * scale) {
+        panic("invariant [energy-balance]: stored delta ", stored_delta,
+              " J != input - ambient loss ", net_in, " J (error ", err,
+              " J, scale ", scale, ") in ", where);
+    }
+}
+
+} // namespace check
+
+} // namespace thermctl

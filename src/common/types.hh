@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/units.hh"
+
 namespace thermctl
 {
 
@@ -23,17 +25,34 @@ using RegId = std::uint16_t;
 /** Sentinel register id meaning "no register". */
 inline constexpr RegId kNoReg = 0xffff;
 
+// Physical scalars are dimensional strong types (see common/units.hh):
+// mixing two typed quantities must satisfy the paper's Table 1 duality
+// algebra or the code does not compile. Raw double still converts both
+// ways, so hot loops can unwrap.
+
 /** Temperatures are handled in degrees Celsius throughout. */
-using Celsius = double;
+using Celsius = units::Celsius;
+
+/** Temperature difference in Kelvin. */
+using Kelvin = units::Kelvin;
 
 /** Power in Watts. */
-using Watts = double;
+using Watts = units::Watts;
 
 /** Energy in Joules. */
-using Joules = double;
+using Joules = units::Joules;
 
 /** Time in seconds. */
-using Seconds = double;
+using Seconds = units::Seconds;
+
+/** Thermal resistance in K/W. */
+using KelvinPerWatt = units::KelvinPerWatt;
+
+/** Thermal capacitance in J/K. */
+using JoulePerKelvin = units::JoulePerKelvin;
+
+/** Thermal conductance in W/K. */
+using WattsPerKelvin = units::WattsPerKelvin;
 
 } // namespace thermctl
 

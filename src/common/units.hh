@@ -1,15 +1,34 @@
 /**
  * @file
- * Physical constants and unit helpers.
+ * Physical constants, unit helpers, and dimensional strong types.
  *
  * Thermal quantities use the electrical duality of the paper's Table 1:
  * heat flow (W) <-> current, temperature difference (K) <-> voltage,
  * thermal resistance (K/W) <-> resistance, thermal capacitance (J/K) <->
  * capacitance, thermal RC constant (s) <-> electrical RC constant.
+ *
+ * Quantity encodes that algebra in the type system: each quantity carries
+ * integer exponents over the (Kelvin, Watt, Second) basis, and the
+ * arithmetic operators derive or check dimensions at compile time. The
+ * basis is closed under every Table 1 identity:
+ *
+ *      Watts * KelvinPerWatt        = Kelvin     (dT = P * R)
+ *      KelvinPerWatt * JoulePerKelvin = Seconds  (tau = R * C)
+ *      Watts * Seconds              = Joules     (E = P * t)
+ *      Joules / JoulePerKelvin      = Kelvin     (dT = E / C)
+ *
+ * Design trade-off: Quantity converts implicitly to and from raw double.
+ * Public APIs carry the strong types, so passing a KelvinPerWatt where a
+ * JoulePerKelvin is expected (the classic swapped-R/C bug) is a compile
+ * error, and any expression mixing two typed quantities must satisfy the
+ * duality algebra. Hot loops and generic math may still unwrap to raw
+ * double — that is deliberate (see DESIGN.md, "Correctness tooling").
  */
 
 #ifndef THERMCTL_COMMON_UNITS_HH
 #define THERMCTL_COMMON_UNITS_HH
+
+#include <type_traits>
 
 namespace thermctl
 {
@@ -26,6 +45,203 @@ inline constexpr double kNano = 1e-9;
 inline constexpr double kPico = 1e-12;
 inline constexpr double kFemto = 1e-15;
 
+/**
+ * A double tagged with dimension exponents over the (Kelvin, Watt,
+ * Second) basis of the paper's Table 1 duality algebra.
+ *
+ * @tparam KelvinExp  temperature(-difference) exponent
+ * @tparam WattExp    heat-flow exponent
+ * @tparam SecondExp  time exponent
+ */
+template <int KelvinExp, int WattExp, int SecondExp>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+
+    /** Implicit wrap of a raw double (documented escape hatch). */
+    constexpr Quantity(double v) : v_(v) {}
+
+    /** @return the underlying raw value. */
+    constexpr double value() const { return v_; }
+
+    /** Implicit unwrap to raw double (documented escape hatch). */
+    constexpr operator double() const { return v_; }
+
+    constexpr Quantity operator-() const { return Quantity(-v_); }
+
+    constexpr Quantity &
+    operator+=(Quantity o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator-=(Quantity o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+
+    /** Scale by a dimensionless factor. */
+    constexpr Quantity &
+    operator*=(double s)
+    {
+        v_ *= s;
+        return *this;
+    }
+
+    /** Divide by a dimensionless factor. */
+    constexpr Quantity &
+    operator/=(double s)
+    {
+        v_ /= s;
+        return *this;
+    }
+
+  private:
+    double v_ = 0.0;
+};
+
+/** Product of two quantities: dimension exponents add. */
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr Quantity<K1 + K2, W1 + W2, S1 + S2>
+operator*(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    return {a.value() * b.value()};
+}
+
+/** Quotient of two quantities: dimension exponents subtract. */
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr Quantity<K1 - K2, W1 - W2, S1 - S2>
+operator/(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    return {a.value() / b.value()};
+}
+
+// Sums, differences and comparisons require identical dimensions. The
+// static_assert (rather than SFINAE) is deliberate: removing the overload
+// would let both operands decay to double and compile silently.
+#define THERMCTL_UNITS_REQUIRE_SAME_DIM()                                  \
+    static_assert(K1 == K2 && W1 == W2 && S1 == S2,                        \
+                  "dimension mismatch: Table 1 duality algebra violated")
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr Quantity<K1, W1, S1>
+operator+(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return {a.value() + b.value()};
+}
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr Quantity<K1, W1, S1>
+operator-(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return {a.value() - b.value()};
+}
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr bool
+operator<(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return a.value() < b.value();
+}
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr bool
+operator>(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return a.value() > b.value();
+}
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr bool
+operator<=(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return a.value() <= b.value();
+}
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr bool
+operator>=(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return a.value() >= b.value();
+}
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr bool
+operator==(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return a.value() == b.value();
+}
+
+template <int K1, int W1, int S1, int K2, int W2, int S2>
+constexpr bool
+operator!=(Quantity<K1, W1, S1> a, Quantity<K2, W2, S2> b)
+{
+    THERMCTL_UNITS_REQUIRE_SAME_DIM();
+    return a.value() != b.value();
+}
+
+#undef THERMCTL_UNITS_REQUIRE_SAME_DIM
+
+/** Dimensionless ratio (e.g. dt / RC, duty cycle). */
+using Ratio = Quantity<0, 0, 0>;
+
+/** Temperature difference in Kelvin (Table 1: voltage). */
+using Kelvin = Quantity<1, 0, 0>;
+
+/**
+ * Temperature in degrees Celsius. Dimensionally identical to Kelvin —
+ * the model only ever differences or offsets temperatures, so the scale
+ * shift never enters the algebra.
+ */
+using Celsius = Quantity<1, 0, 0>;
+
+/** Heat flow / power in Watts (Table 1: current). */
+using Watts = Quantity<0, 1, 0>;
+
+/** Time in seconds. */
+using Seconds = Quantity<0, 0, 1>;
+
+/** Energy in Joules (= Watts * Seconds). */
+using Joules = Quantity<0, 1, 1>;
+
+/** Thermal resistance in K/W (Table 1: resistance). */
+using KelvinPerWatt = Quantity<1, -1, 0>;
+
+/** Thermal capacitance in J/K (Table 1: capacitance). */
+using JoulePerKelvin = Quantity<-1, 1, 1>;
+
+/** Thermal conductance in W/K (inverse resistance). */
+using WattsPerKelvin = Quantity<-1, 1, 0>;
+
+// The paper's Table 1 duality algebra, enforced at compile time.
+static_assert(std::is_same_v<decltype(Watts{} * KelvinPerWatt{}), Kelvin>,
+              "dT = P * R");
+static_assert(
+    std::is_same_v<decltype(KelvinPerWatt{} * JoulePerKelvin{}), Seconds>,
+    "tau = R * C");
+static_assert(std::is_same_v<decltype(Watts{} * Seconds{}), Joules>,
+              "E = P * t");
+static_assert(std::is_same_v<decltype(Joules{} / JoulePerKelvin{}), Kelvin>,
+              "dT = E / C");
+static_assert(std::is_same_v<decltype(Kelvin{} / KelvinPerWatt{}), Watts>,
+              "P = dT / R");
+static_assert(std::is_same_v<decltype(Seconds{} / Seconds{}), Ratio>,
+              "dt / RC is dimensionless");
+static_assert(
+    std::is_same_v<decltype(Ratio{} / KelvinPerWatt{}), WattsPerKelvin>,
+    "G = 1 / R");
+
 /** Square millimetres to square metres. */
 inline constexpr double
 mm2ToM2(double mm2)
@@ -35,9 +251,9 @@ mm2ToM2(double mm2)
 
 /** Seconds to microseconds. */
 inline constexpr double
-sToUs(double s)
+sToUs(Seconds s)
 {
-    return s * 1e6;
+    return s.value() * 1e6;
 }
 
 } // namespace units

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hh"
 #include "common/logging.hh"
 
 namespace thermctl
@@ -9,7 +10,7 @@ namespace thermctl
 
 PidController::PidController(const PidConfig &cfg) : cfg_(cfg)
 {
-    if (cfg.dt <= 0.0)
+    if (cfg.dt.value() <= 0.0)
         fatal("PidController: dt must be positive");
     if (cfg.out_min >= cfg.out_max)
         fatal("PidController: out_min must be below out_max");
@@ -77,6 +78,10 @@ PidController::update(double measurement)
 
     integral_ = integral_next;
     output_ = std::clamp(unclamped, cfg_.out_min, cfg_.out_max);
+    THERMCTL_INVARIANT(check::verifyPidContract(
+        output_, integral_, cfg_.out_min, cfg_.out_max,
+        cfg_.anti_windup == AntiWindup::Conditional,
+        "PidController::update"));
     return output_;
 }
 

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 
+#include "common/types.hh"
+
 namespace thermctl
 {
 
@@ -40,7 +42,7 @@ struct PidConfig
     double ki = 0.0;        ///< per second
     double kd = 0.0;        ///< seconds
     double setpoint = 0.0;
-    double dt = 1.0;        ///< sampling period, seconds
+    Seconds dt = 1.0;       ///< sampling period
     double out_min = 0.0;
     double out_max = 1.0;
     AntiWindup anti_windup = AntiWindup::Conditional;

@@ -144,12 +144,13 @@ tuneImc(ControllerKind kind, const FopdtPlant &plant, double lambda)
 
 PidConfig
 tuneForSettlingTime(ControllerKind kind, const FopdtPlant &plant,
-                    double target_settling_s, double dt)
+                    Seconds target_settling, Seconds dt)
 {
+    const double target_settling_s = target_settling.value();
     if (kind == ControllerKind::P)
         fatal("tuneForSettlingTime: a P controller cannot guarantee "
               "settling to a 2% band (steady-state offset)");
-    if (target_settling_s <= 0.0 || dt <= 0.0)
+    if (target_settling_s <= 0.0 || dt.value() <= 0.0)
         fatal("tuneForSettlingTime: target and dt must be positive");
 
     // Sweep the crossover cap from gentle to aggressive (and, at each

@@ -18,6 +18,7 @@
 #ifndef THERMCTL_CONTROL_TUNING_HH
 #define THERMCTL_CONTROL_TUNING_HH
 
+#include "common/types.hh"
 #include "control/pid.hh"
 #include "control/plant.hh"
 
@@ -95,14 +96,14 @@ PidConfig tuneImc(ControllerKind kind, const FopdtPlant &plant,
  * @param kind controller family (PI or PID; P cannot guarantee settling
  *        to a +-2% band because of its steady-state offset)
  * @param plant the process model
- * @param target_settling_s required settling time, seconds
- * @param dt controller sampling period, seconds
+ * @param target_settling required settling time
+ * @param dt controller sampling period
  * @return tuned gains with dt filled in; fatal() when no design in the
  *         searched family meets the target
  */
 PidConfig tuneForSettlingTime(ControllerKind kind,
                               const FopdtPlant &plant,
-                              double target_settling_s, double dt);
+                              Seconds target_settling, Seconds dt);
 
 } // namespace thermctl
 

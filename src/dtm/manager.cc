@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hh"
 #include "common/logging.hh"
 
 namespace thermctl
@@ -22,6 +23,8 @@ DtmManager::DtmManager(const DtmConfig &cfg,
 bool
 DtmManager::tick(const TemperatureVector &truth, Cycle now)
 {
+    THERMCTL_INVARIANT(check::verifyFinite(truth, "DtmManager::tick"));
+
     // ------------------------------------------------------- metrics
     ++stats_.cycles;
     const Celsius hottest = truth.maxHotspot();
@@ -35,6 +38,8 @@ DtmManager::tick(const TemperatureVector &truth, Cycle now)
     if (now % cfg_.sample_interval == 0) {
         const TemperatureVector sensed = sensors_.read(truth);
         const DtmCommand cmd = policy_->onSample(sensed, now);
+        THERMCTL_INVARIANT(check::verifyFinite(
+            cmd.duty, "policy duty", "DtmManager::tick"));
         ++stats_.samples;
         stats_.duty_sum += cmd.duty;
 

@@ -14,16 +14,16 @@ TemperatureVector
 SensorBank::read(const TemperatureVector &truth)
 {
     TemperatureVector out = truth;
-    const bool ideal = cfg_.offset == 0.0 && cfg_.noise_sigma == 0.0
-        && cfg_.quantum == 0.0;
+    const bool ideal = cfg_.offset.value() == 0.0
+        && cfg_.noise_sigma.value() == 0.0 && cfg_.quantum.value() == 0.0;
     if (ideal)
         return out;
-    for (double &t : out.value) {
+    for (Celsius &t : out.value) {
         t += cfg_.offset;
-        if (cfg_.noise_sigma > 0.0)
+        if (cfg_.noise_sigma.value() > 0.0)
             t += rng_.gaussian(0.0, cfg_.noise_sigma);
-        if (cfg_.quantum > 0.0)
-            t = std::round(t / cfg_.quantum) * cfg_.quantum;
+        if (cfg_.quantum.value() > 0.0)
+            t = std::round(t / cfg_.quantum) * cfg_.quantum.value();
     }
     return out;
 }

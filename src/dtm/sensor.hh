@@ -22,9 +22,9 @@ namespace thermctl
 /** Sensor non-idealities (defaults: ideal). */
 struct SensorConfig
 {
-    double offset = 0.0;       ///< static bias, degrees C
-    double noise_sigma = 0.0;  ///< Gaussian noise per reading, degrees C
-    double quantum = 0.0;      ///< quantization step (0 = continuous)
+    Celsius offset = 0.0;      ///< static bias
+    Celsius noise_sigma = 0.0; ///< Gaussian noise per reading
+    Celsius quantum = 0.0;     ///< quantization step (0 = continuous)
     std::uint64_t seed = 0x5e5e5e5e;
 };
 

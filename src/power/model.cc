@@ -258,7 +258,7 @@ PowerModel::gate(double active_j, double peak_j) const
 
 PowerVector
 PowerModel::leakagePower(
-    const std::array<double, kNumStructures> &temps_c) const
+    const std::array<Celsius, kNumStructures> &temps_c) const
 {
     PowerVector out;
     if (!cfg_.leakage_enabled)

@@ -52,8 +52,8 @@ struct PowerConfig
     double e_fp_alu_op = 1.8e-9;
     double e_fp_mult_op = 2.2e-9;
 
-    /** Constant clock/misc power charged to RestOfChip every cycle (W). */
-    double rest_base_watts = 9.0;
+    /** Constant clock/misc power charged to RestOfChip every cycle. */
+    Watts rest_base_watts = 9.0;
 
     /** Per-event energies for RestOfChip activity (decode/rename etc). */
     double e_decode_op = 1.0e-9;
@@ -79,14 +79,14 @@ struct PowerConfig
     /** Leakage at the reference temperature, as a fraction of peak. */
     double leakage_fraction_at_ref = 0.05;
 
-    /** Reference temperature for the leakage fraction (C). */
-    double leakage_ref_temp = 85.0;
+    /** Reference temperature for the leakage fraction. */
+    Celsius leakage_ref_temp = 85.0;
 
     /**
      * Exponential temperature sensitivity: leakage doubles every
      * `leakage_doubling_c` degrees (typical silicon: 8-12 C).
      */
-    double leakage_doubling_c = 10.0;
+    Kelvin leakage_doubling_c = 10.0;
 
     /**
      * Per-structure calibration multipliers applied to the CACTI-lite
@@ -123,7 +123,7 @@ class PowerModel
      *   P_leak(T) = frac_ref * P_peak * 2^((T - T_ref) / doubling)
      */
     PowerVector leakagePower(
-        const std::array<double, kNumStructures> &temps_c) const;
+        const std::array<Celsius, kNumStructures> &temps_c) const;
 
     /** @return per-structure peak power (all ports active), Watts. */
     const PowerVector &peak() const { return peak_; }

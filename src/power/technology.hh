@@ -15,6 +15,8 @@
 #ifndef THERMCTL_POWER_TECHNOLOGY_HH
 #define THERMCTL_POWER_TECHNOLOGY_HH
 
+#include "common/types.hh"
+
 namespace thermctl
 {
 
@@ -43,8 +45,8 @@ struct Technology
      */
     double array_energy_scale = 3.0;
 
-    /** @return cycle time in seconds. */
-    double cycleSeconds() const { return 1.0 / freq_hz; }
+    /** @return cycle time. */
+    Seconds cycleSeconds() const { return 1.0 / freq_hz; }
 };
 
 } // namespace thermctl

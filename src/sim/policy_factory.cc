@@ -28,7 +28,7 @@ dtmPolicyKindName(DtmPolicyKind kind)
 
 FopdtPlant
 deriveDtmPlant(const Floorplan &floorplan, const PowerModel &power,
-               const DtmConfig &dtm, double cycle_seconds)
+               const DtmConfig &dtm, Seconds cycle_seconds)
 {
     FopdtPlant plant;
     plant.tau = 0.0;
@@ -36,7 +36,7 @@ deriveDtmPlant(const Floorplan &floorplan, const PowerModel &power,
     for (std::size_t i = 0; i < kNumHotspotStructures; ++i) {
         const auto id = static_cast<StructureId>(i);
         const auto &blk = floorplan.block(id);
-        plant.tau = std::max(plant.tau, blk.rc());
+        plant.tau = std::max(plant.tau, blk.rc().value());
         // Power swing commanded by the duty range: about half the
         // block's peak (from full activity down to the gated floor).
         const double swing = 0.5 * power.peak()[id];
@@ -49,7 +49,7 @@ deriveDtmPlant(const Floorplan &floorplan, const PowerModel &power,
 
 std::unique_ptr<DtmPolicy>
 makeDtmPolicy(const DtmPolicySettings &settings, const FopdtPlant &plant,
-              const DtmConfig &dtm, double cycle_seconds)
+              const DtmConfig &dtm, Seconds cycle_seconds)
 {
     const double sample_dt =
         static_cast<double>(dtm.sample_interval) * cycle_seconds;

@@ -32,13 +32,13 @@ namespace thermctl
  */
 FopdtPlant deriveDtmPlant(const Floorplan &floorplan,
                           const PowerModel &power, const DtmConfig &dtm,
-                          double cycle_seconds);
+                          Seconds cycle_seconds);
 
 /** Construct the configured policy (gains tuned for CT kinds). */
 std::unique_ptr<DtmPolicy> makeDtmPolicy(const DtmPolicySettings &settings,
                                          const FopdtPlant &plant,
                                          const DtmConfig &dtm,
-                                         double cycle_seconds);
+                                         Seconds cycle_seconds);
 
 } // namespace thermctl
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hh"
 #include "common/logging.hh"
 
 namespace thermctl
@@ -76,6 +77,8 @@ Simulator::tick()
         for (std::size_t i = 0; i < kNumStructures; ++i)
             last_power_.value[i] += leak.value[i] * v_ratio * v_ratio;
     }
+    THERMCTL_INVARIANT(check::verifyFinite(last_power_,
+                                           "Simulator::tick"));
     if (dt_mult != 1.0)
         thermal_.stepScaled(last_power_, dt_mult);
     else

@@ -80,7 +80,7 @@ Floorplan::Floorplan(const FloorplanConfig &cfg) : cfg_(cfg)
 
     for (StructureId id : kAllStructures) {
         const std::size_t i = static_cast<std::size_t>(id);
-        const double area_m2 = rects_[i].areaMm2() * 1e-6;
+        const double area_m2 = units::mm2ToM2(rects_[i].areaMm2());
         ThermalBlockParams &blk = blocks_[i];
         blk.id = id;
         blk.area_m2 = area_m2;

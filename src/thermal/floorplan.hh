@@ -46,10 +46,10 @@ struct ThermalBlockParams
 {
     StructureId id = StructureId::Lsq;
     double area_m2 = 0.0;
-    double resistance = 0.0;   ///< K/W, block to heatsink (normal path)
-    double capacitance = 0.0;  ///< J/K
-    /** @return thermal time constant R*C in seconds. */
-    double rc() const { return resistance * capacitance; }
+    KelvinPerWatt resistance = 0.0;  ///< block to heatsink (normal path)
+    JoulePerKelvin capacitance = 0.0;
+    /** @return thermal time constant R*C (the Table 1 algebra in use). */
+    Seconds rc() const { return resistance * capacitance; }
 };
 
 /** A tangential (block-to-block) thermal resistance. */
@@ -57,7 +57,7 @@ struct TangentialResistance
 {
     StructureId a;
     StructureId b;
-    double resistance; ///< K/W
+    KelvinPerWatt resistance;
 };
 
 /** Floorplan / package configuration. */
@@ -83,8 +83,8 @@ struct FloorplanConfig
         14.3, 15.9, 9.3, 16.5, 16.7, 10.0, 8.5, 8.0};
 
     // Chip-level package path (paper Table 3 last row).
-    double chip_resistance = 0.34; ///< K/W die+heatsink to ambient
-    double chip_capacitance = 60.0; ///< J/K (heatsink mass)
+    KelvinPerWatt chip_resistance = 0.34;  ///< die+heatsink to ambient
+    JoulePerKelvin chip_capacitance = 60.0; ///< heatsink mass
     Celsius ambient = 27.0;
 
     /**

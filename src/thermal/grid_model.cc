@@ -179,7 +179,7 @@ GridThermalModel::blockMean(StructureId id) const
             ++count;
         }
     }
-    return count ? sum / static_cast<double>(count) : cfg_.t_base;
+    return count ? Celsius(sum / static_cast<double>(count)) : cfg_.t_base;
 }
 
 Celsius
@@ -192,7 +192,7 @@ GridThermalModel::blockGradient(StructureId id) const
             hi = std::max(hi, temps_[i]);
         }
     }
-    return hi >= lo ? hi - lo : 0.0;
+    return hi >= lo ? hi - lo : Kelvin(0.0);
 }
 
 Celsius

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariants.hh"
 #include "common/logging.hh"
 
 namespace thermctl
@@ -11,23 +12,23 @@ namespace thermctl
 // --------------------------------------------------------- SimplifiedRCModel
 
 SimplifiedRCModel::SimplifiedRCModel(const Floorplan &floorplan,
-                                     const ThermalConfig &cfg,
-                                     double dt_seconds)
-    : floorplan_(floorplan), cfg_(cfg), dt_(dt_seconds)
+                                     const ThermalConfig &cfg, Seconds dt)
+    : floorplan_(floorplan), cfg_(cfg), dt_(dt)
 {
-    if (dt_seconds <= 0.0)
+    if (dt.value() <= 0.0)
         fatal("SimplifiedRCModel: dt must be positive");
     for (StructureId id : kAllStructures) {
         const auto &blk = floorplan.block(id);
         const std::size_t i = static_cast<std::size_t>(id);
-        if (blk.capacitance <= 0.0 || blk.resistance <= 0.0)
+        if (blk.capacitance.value() <= 0.0 || blk.resistance.value() <= 0.0)
             fatal("SimplifiedRCModel: non-positive R or C for block ",
                   structureName(id));
         inv_c_[i] = dt_ / blk.capacitance;
-        inv_rc_[i] = dt_ / (blk.resistance * blk.capacitance);
+        inv_rc_[i] = dt_ / blk.rc();
         if (inv_rc_[i] >= 1.0)
             fatal("SimplifiedRCModel: dt too large for block time "
                   "constant (forward Euler unstable)");
+        max_inv_rc_ = std::max(max_inv_rc_, inv_rc_[i]);
         temps_.value[i] = cfg.t_base;
     }
 }
@@ -35,11 +36,14 @@ SimplifiedRCModel::SimplifiedRCModel(const Floorplan &floorplan,
 void
 SimplifiedRCModel::step(const PowerVector &power)
 {
+    THERMCTL_INVARIANT(check::verifyFinite(power, "SimplifiedRCModel::step"));
     // Paper Eq. 5: T += dt/C * P - dt/(RC) * (T - T_base)
     for (std::size_t i = 0; i < kNumStructures; ++i) {
         temps_.value[i] += power.value[i] * inv_c_[i]
             - (temps_.value[i] - cfg_.t_base) * inv_rc_[i];
     }
+    THERMCTL_INVARIANT(check::verifyFinite(temps_,
+                                           "SimplifiedRCModel::step"));
 }
 
 void
@@ -47,25 +51,36 @@ SimplifiedRCModel::stepScaled(const PowerVector &power, double dt_mult)
 {
     if (dt_mult <= 0.0)
         panic("SimplifiedRCModel::stepScaled: dt_mult must be positive");
+    THERMCTL_INVARIANT(check::verifyEulerStable(
+        max_inv_rc_ * dt_mult, 1.0, "SimplifiedRCModel::stepScaled",
+        "stiffest block"));
+    THERMCTL_INVARIANT(check::verifyFinite(
+        power, "SimplifiedRCModel::stepScaled"));
     for (std::size_t i = 0; i < kNumStructures; ++i) {
         temps_.value[i] += dt_mult
             * (power.value[i] * inv_c_[i]
                - (temps_.value[i] - cfg_.t_base) * inv_rc_[i]);
     }
+    THERMCTL_INVARIANT(check::verifyFinite(
+        temps_, "SimplifiedRCModel::stepScaled"));
 }
 
 void
 SimplifiedRCModel::stepExact(const PowerVector &power, std::uint64_t cycles)
 {
-    const double span = dt_ * static_cast<double>(cycles);
+    THERMCTL_INVARIANT(check::verifyFinite(power,
+                                           "SimplifiedRCModel::stepExact"));
+    const double span = dt_.value() * static_cast<double>(cycles);
     for (StructureId id : kAllStructures) {
         const std::size_t i = static_cast<std::size_t>(id);
         const auto &blk = floorplan_.block(id);
         const double t_ss = cfg_.t_base
-            + power.value[i] * blk.resistance;
-        const double decay = std::exp(-span / blk.rc());
+            + power.value[i] * blk.resistance.value();
+        const double decay = std::exp(-span / blk.rc().value());
         temps_.value[i] = t_ss + (temps_.value[i] - t_ss) * decay;
     }
+    THERMCTL_INVARIANT(check::verifyFinite(temps_,
+                                           "SimplifiedRCModel::stepExact"));
 }
 
 void
@@ -75,6 +90,8 @@ SimplifiedRCModel::warmStart(const PowerVector &power)
         const std::size_t i = static_cast<std::size_t>(id);
         temps_.value[i] = steadyState(id, power.value[i]);
     }
+    THERMCTL_INVARIANT(check::verifyFinite(temps_,
+                                           "SimplifiedRCModel::warmStart"));
 }
 
 void
@@ -86,17 +103,17 @@ SimplifiedRCModel::setUniform(Celsius t)
 Celsius
 SimplifiedRCModel::steadyState(StructureId id, Watts p) const
 {
+    // dT = P * R: the Table 1 duality algebra, statically checked.
     return cfg_.t_base + p * floorplan_.block(id).resistance;
 }
 
 // --------------------------------------------------------------- FullRCModel
 
 FullRCModel::FullRCModel(const Floorplan &floorplan,
-                         const ThermalConfig &cfg, double dt_seconds)
-    : floorplan_(floorplan), cfg_(cfg), dt_(dt_seconds),
-      t_sink_(cfg.t_base)
+                         const ThermalConfig &cfg, Seconds dt)
+    : floorplan_(floorplan), cfg_(cfg), dt_(dt), t_sink_(cfg.t_base)
 {
-    if (dt_seconds <= 0.0)
+    if (dt.value() <= 0.0)
         fatal("FullRCModel: dt must be positive");
     for (StructureId id : kAllStructures) {
         const std::size_t i = static_cast<std::size_t>(id);
@@ -112,11 +129,36 @@ FullRCModel::FullRCModel(const Floorplan &floorplan,
         conductance_[b][a] += g;
     }
     sink_to_ambient_g_ = 1.0 / floorplan.config().chip_resistance;
+
+    // Forward-Euler stability guard at construction: each node's total
+    // conductance over its capacitance bounds the integration rate; Eq. 5
+    // diverges once dt exceeds 2 C / G_total (we insist on the stricter
+    // non-oscillating dt < C / G_total).
+    double sink_g_total = sink_to_ambient_g_;
+    for (StructureId id : kAllStructures) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        double g_total = 0.0;
+        for (std::size_t j = 0; j <= kNumStructures; ++j)
+            g_total += conductance_[i][j];
+        sink_g_total += conductance_[i][kNumStructures];
+        const double rate = g_total / floorplan.block(id).capacitance;
+        max_g_over_c_ = std::max(max_g_over_c_, rate);
+        if (dt.value() * rate >= 1.0)
+            fatal("FullRCModel: dt too large for block ",
+                  structureName(id), " (forward Euler unstable)");
+    }
+    const double sink_rate =
+        sink_g_total / floorplan.config().chip_capacitance;
+    max_g_over_c_ = std::max(max_g_over_c_, sink_rate);
+    if (dt.value() * sink_rate >= 1.0)
+        fatal("FullRCModel: dt too large for the heatsink node "
+              "(forward Euler unstable)");
 }
 
 void
 FullRCModel::step(const PowerVector &power)
 {
+    THERMCTL_INVARIANT(check::verifyFinite(power, "FullRCModel::step"));
     std::array<double, kNumStructures> flow{};
     double sink_flow = 0.0;
 
@@ -146,6 +188,7 @@ FullRCModel::step(const PowerVector &power)
     sink_flow -= sink_to_ambient_g_
         * (t_sink_ - floorplan_.config().ambient);
     t_sink_ += dt_ * sink_flow / floorplan_.config().chip_capacitance;
+    THERMCTL_INVARIANT(check::verifyFinite(temps_, "FullRCModel::step"));
 }
 
 void
@@ -157,14 +200,50 @@ FullRCModel::stepSpan(const PowerVector &power, std::uint64_t cycles)
     const std::uint64_t chunk_cycles = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(max_chunk_s / dt_));
     std::uint64_t remaining = cycles;
-    const double saved_dt = dt_;
+    const Seconds saved_dt = dt_;
+
+#if THERMCTL_INVARIANTS_ENABLED
+    // Energy-balance audit: forward Euler with pre-step temperatures is
+    // exactly conservative, so stored delta must equal input minus
+    // ambient loss to rounding error over the whole span.
+    check::EnergyAudit audit;
+    const auto storedEnergy = [this]() -> Joules {
+        Joules e = 0.0;
+        for (StructureId id : kAllStructures) {
+            e += floorplan_.block(id).capacitance
+                * Kelvin(temps_[id].value());
+        }
+        e += floorplan_.config().chip_capacitance
+            * Kelvin(t_sink_.value());
+        return e;
+    };
+    audit.setStoredBefore(storedEnergy());
+    const Watts p_total = power.total();
+#endif
+
     while (remaining > 0) {
         const std::uint64_t n = std::min(remaining, chunk_cycles);
-        dt_ = saved_dt * static_cast<double>(n);
+        const Seconds chunk = saved_dt * static_cast<double>(n);
+        THERMCTL_INVARIANT(check::verifyEulerStable(
+            chunk.value() * max_g_over_c_, 1.0, "FullRCModel::stepSpan",
+            "stiffest node"));
+#if THERMCTL_INVARIANTS_ENABLED
+        audit.addInput(p_total * chunk);
+        audit.addAmbientLoss(
+            Watts(sink_to_ambient_g_
+                  * (t_sink_ - floorplan_.config().ambient))
+            * chunk);
+#endif
+        dt_ = chunk;
         step(power);
         dt_ = saved_dt;
         remaining -= n;
     }
+
+#if THERMCTL_INVARIANTS_ENABLED
+    audit.setStoredAfter(storedEnergy());
+    audit.verify("FullRCModel::stepSpan");
+#endif
 }
 
 void
@@ -184,26 +263,33 @@ FullRCModel::setTemperatures(const TemperatureVector &temps, Celsius sink)
 // ------------------------------------------------------------ ChipLevelModel
 
 ChipLevelModel::ChipLevelModel(const FloorplanConfig &cfg, Celsius initial,
-                               double dt_seconds)
+                               Seconds dt)
     : r_(cfg.chip_resistance), c_(cfg.chip_capacitance),
-      ambient_(cfg.ambient), temp_(initial), dt_(dt_seconds)
+      ambient_(cfg.ambient), temp_(initial), dt_(dt)
 {
-    if (r_ <= 0.0 || c_ <= 0.0 || dt_seconds <= 0.0)
+    if (r_.value() <= 0.0 || c_.value() <= 0.0 || dt.value() <= 0.0)
         fatal("ChipLevelModel: R, C and dt must be positive");
 }
 
 void
 ChipLevelModel::step(Watts total_power)
 {
-    temp_ += dt_ * total_power / c_ - dt_ * (temp_ - ambient_) / (r_ * c_);
+    // Fully typed Eq. 5: (s * W) / (J/K) = K and (s * K) / s = K.
+    temp_ += dt_ * total_power / c_
+        - (dt_ * (temp_ - ambient_)) / timeConstant();
+    THERMCTL_INVARIANT(check::verifyFinite(temp_.value(), "temperature",
+                                           "ChipLevelModel::step"));
 }
 
 void
 ChipLevelModel::stepExact(Watts total_power, std::uint64_t cycles)
 {
-    const double span = dt_ * static_cast<double>(cycles);
-    const double t_ss = ambient_ + total_power * r_;
-    temp_ = t_ss + (temp_ - t_ss) * std::exp(-span / (r_ * c_));
+    const double span = dt_.value() * static_cast<double>(cycles);
+    const Celsius t_ss = ambient_ + total_power * r_;
+    temp_ = t_ss
+        + (temp_ - t_ss) * std::exp(-span / timeConstant().value());
+    THERMCTL_INVARIANT(check::verifyFinite(temp_.value(), "temperature",
+                                           "ChipLevelModel::stepExact"));
 }
 
 } // namespace thermctl

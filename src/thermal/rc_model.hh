@@ -90,7 +90,7 @@ class SimplifiedRCModel
 {
   public:
     SimplifiedRCModel(const Floorplan &floorplan, const ThermalConfig &cfg,
-                      double dt_seconds);
+                      Seconds dt);
 
     /**
      * Advance one cycle with the given per-block power (paper Eq. 5,
@@ -124,16 +124,17 @@ class SimplifiedRCModel
 
     const ThermalConfig &config() const { return cfg_; }
     const Floorplan &floorplan() const { return floorplan_; }
-    double dt() const { return dt_; }
+    Seconds dt() const { return dt_; }
 
   private:
     const Floorplan &floorplan_;
     ThermalConfig cfg_;
-    double dt_;
+    Seconds dt_;
     TemperatureVector temps_;
     // Cached per-block coefficients.
     std::array<double, kNumStructures> inv_c_{};  ///< dt / C
     std::array<double, kNumStructures> inv_rc_{}; ///< dt / (R*C)
+    double max_inv_rc_ = 0.0; ///< stiffest block's dt / (R*C)
 };
 
 /** The paper's detailed RC network (Figure 3B) with tangential paths. */
@@ -141,7 +142,7 @@ class FullRCModel
 {
   public:
     FullRCModel(const Floorplan &floorplan, const ThermalConfig &cfg,
-                double dt_seconds);
+                Seconds dt);
 
     /** Advance one cycle (forward Euler over the full network). */
     void step(const PowerVector &power);
@@ -164,7 +165,7 @@ class FullRCModel
   private:
     const Floorplan &floorplan_;
     ThermalConfig cfg_;
-    double dt_;
+    Seconds dt_;
     TemperatureVector temps_;
     Celsius t_sink_;
     /** Conductances: [i][j] between blocks, [i][N] block to sink. */
@@ -172,6 +173,7 @@ class FullRCModel
                kNumStructures>
         conductance_{};
     double sink_to_ambient_g_ = 0.0;
+    double max_g_over_c_ = 0.0; ///< stiffest node's total G / C, 1/s
 };
 
 /** Chip-wide single-RC model (paper Table 3 "chip" row). */
@@ -179,7 +181,7 @@ class ChipLevelModel
 {
   public:
     ChipLevelModel(const FloorplanConfig &cfg, Celsius initial,
-                   double dt_seconds);
+                   Seconds dt);
 
     /** Advance one cycle with the given total chip power. */
     void step(Watts total_power);
@@ -189,15 +191,15 @@ class ChipLevelModel
 
     Celsius temperature() const { return temp_; }
 
-    /** @return the chip-level time constant R*C in seconds. */
-    double timeConstant() const { return r_ * c_; }
+    /** @return the chip-level time constant R*C. */
+    Seconds timeConstant() const { return r_ * c_; }
 
   private:
-    double r_;
-    double c_;
+    KelvinPerWatt r_;
+    JoulePerKelvin c_;
     Celsius ambient_;
     Celsius temp_;
-    double dt_;
+    Seconds dt_;
 };
 
 } // namespace thermctl

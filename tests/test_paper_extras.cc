@@ -37,7 +37,7 @@ uniformTemps(Celsius t)
 TEST(Leakage, DisabledByDefault)
 {
     PowerModel pm(PowerConfig{}, CpuConfig{}, MemoryHierarchyConfig{});
-    std::array<double, kNumStructures> temps;
+    std::array<Celsius, kNumStructures> temps;
     temps.fill(110.0);
     const auto leak = pm.leakagePower(temps);
     for (double w : leak.value)
@@ -53,7 +53,7 @@ TEST(Leakage, ExponentialInTemperature)
     cfg.leakage_doubling_c = 10.0;
     PowerModel pm(cfg, CpuConfig{}, MemoryHierarchyConfig{});
 
-    std::array<double, kNumStructures> at_ref, plus10, plus20;
+    std::array<Celsius, kNumStructures> at_ref, plus10, plus20;
     at_ref.fill(85.0);
     plus10.fill(95.0);
     plus20.fill(105.0);

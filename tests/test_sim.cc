@@ -42,7 +42,7 @@ TEST(PolicyFactory, PlantDerivedFromHotspotBlocks)
 
     double max_rc = 0.0;
     for (std::size_t i = 0; i < kNumHotspotStructures; ++i)
-        max_rc = std::max(max_rc, fp.blocks()[i].rc());
+        max_rc = std::max(max_rc, fp.blocks()[i].rc().value());
     EXPECT_DOUBLE_EQ(plant.tau, max_rc);
     EXPECT_GT(plant.gain, 1.0);
     EXPECT_NEAR(plant.dead_time, 500.0 * cycle_s, 1e-15);

@@ -235,8 +235,9 @@ TEST(SyntheticWorkload, WrongPathOpsAreWellFormed)
         MicroOp op = wl.synthesizeAt(0x500000 + 4 * i);
         ASSERT_EQ(op.pc, 0x500000u + 4 * i);
         ASSERT_FALSE(op.is_branch);
-        if (isMemOp(op.op))
+        if (isMemOp(op.op)) {
             ASSERT_GE(op.mem_addr, 0x1000'0000u);
+        }
     }
 }
 
