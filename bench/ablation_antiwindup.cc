@@ -33,7 +33,7 @@ struct Outcome
 };
 
 Outcome
-runArt(AntiWindup mode, double base_ipc)
+runArt(const RunProtocol &proto, AntiWindup mode, double base_ipc)
 {
     SimConfig cfg;
     cfg.workload = specProfile("179.art");
@@ -51,7 +51,6 @@ runArt(AntiWindup mode, double base_ipc)
     sim.setDtmPolicy(std::make_unique<CtPolicy>(
         ControllerKind::PI, pid, cfg.policy.ct_range_low));
 
-    const RunProtocol proto = bench::standardProtocol();
     sim.warmUp(proto.warmup_cycles);
     sim.run(proto.measure_cycles);
 
@@ -66,23 +65,28 @@ runArt(AntiWindup mode, double base_ipc)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Ablation: integrator anti-windup (PI on the bursty art "
         "profile)",
         "Section 3.3 (actuator saturation / integral windup)");
 
-    ExperimentRunner runner(bench::standardProtocol());
     DtmPolicySettings none;
     none.kind = DtmPolicyKind::None;
-    const auto base = runner.runOne(specProfile("179.art"), none);
+    const auto base = session.runOne(specProfile("179.art"), none);
 
     TextTable t;
     t.setHeader({"anti-windup", "emerg %", "max T (C)",
                  "% of base IPC"});
-    const auto with = runArt(AntiWindup::Conditional, base.ipc);
-    const auto without = runArt(AntiWindup::None, base.ipc);
+    // The custom-controller runs stay on a direct Simulator: they inject
+    // a hand-built CtPolicy, which the declarative sweep grid cannot
+    // express (and so cannot cache).
+    const auto with =
+        runArt(session.protocol(), AntiWindup::Conditional, base.ipc);
+    const auto without =
+        runArt(session.protocol(), AntiWindup::None, base.ipc);
     t.addRow({"conditional (paper)", formatPercent(with.emerg_frac, 3),
               formatDouble(with.max_temp, 2),
               formatPercent(with.rel_ipc, 1)});

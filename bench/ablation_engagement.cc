@@ -22,33 +22,47 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Ablation: direct vs interrupt-based DTM engagement",
         "Section 2.1 (trigger mechanisms)");
 
-    ExperimentRunner runner(bench::standardProtocol());
+    const char *benches[] = {"186.crafty", "301.apsi"};
+
+    SweepSpec spec = session.spec();
+    for (const char *name : benches)
+        spec.workload(specProfile(name));
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    spec.policy(s);
+    for (auto kind : {DtmPolicyKind::Toggle1, DtmPolicyKind::PID}) {
+        s.kind = kind;
+        spec.policy(s);
+    }
+    spec.variant("direct", [](SimConfig &cfg) {
+        cfg.dtm.engagement = EngagementMechanism::Direct;
+    });
+    spec.variant("interrupt", [](SimConfig &cfg) {
+        cfg.dtm.engagement = EngagementMechanism::Interrupt;
+    });
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"benchmark", "policy", "engagement", "% of base IPC",
                  "emerg %", "max T (C)"});
 
-    for (const char *name : {"186.crafty", "301.apsi"}) {
-        auto profile = specProfile(name);
-        DtmPolicySettings s;
-        s.kind = DtmPolicyKind::None;
-        const auto base = runner.runOne(profile, s);
+    for (const char *name : benches) {
+        const auto &base = res.at(
+            name, dtmPolicyKindName(DtmPolicyKind::None), "direct");
 
         for (auto kind : {DtmPolicyKind::Toggle1, DtmPolicyKind::PID}) {
-            for (auto mech : {EngagementMechanism::Direct,
-                              EngagementMechanism::Interrupt}) {
-                SimConfig cfg;
-                cfg.dtm.engagement = mech;
-                s.kind = kind;
-                const auto r = runner.runOne(profile, s, cfg);
-                t.addRow({profile.name, dtmPolicyKindName(kind),
-                          mech == EngagementMechanism::Direct
+            for (const char *mech : {"direct", "interrupt"}) {
+                const auto &r =
+                    res.at(name, dtmPolicyKindName(kind), mech);
+                t.addRow({name, dtmPolicyKindName(kind),
+                          std::string(mech) == "direct"
                               ? "direct"
                               : "interrupt(250)",
                           formatPercent(r.ipc / base.ipc, 1),

@@ -24,13 +24,14 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Ablation: block-lumped vs grid-refined thermal modeling",
         "Section 4.2 (granularity of localized modeling; future work)");
 
-    const RunProtocol proto = bench::standardProtocol();
+    const RunProtocol proto = session.protocol();
 
     TextTable t;
     t.setHeader({"benchmark", "block", "lumped (C)", "grid mean (C)",

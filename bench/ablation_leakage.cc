@@ -25,31 +25,43 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Ablation: temperature-dependent leakage feedback",
         "extension (leakage; cf. the paper's Wong et al. citation)");
 
-    ExperimentRunner runner(bench::standardProtocol());
     auto profile = specProfile("186.crafty");
+    const double fracs[] = {0.0, 0.02, 0.04, 0.06};
+
+    SweepSpec spec = session.spec();
+    spec.workload(profile);
+    for (auto kind : {DtmPolicyKind::None, DtmPolicyKind::PID}) {
+        DtmPolicySettings s;
+        s.kind = kind;
+        spec.policy(s);
+    }
+    for (double frac : fracs) {
+        spec.variant("leak" + formatPercent(frac, 0),
+                     [frac](SimConfig &cfg) {
+                         cfg.power.leakage_enabled = frac > 0.0;
+                         cfg.power.leakage_fraction_at_ref = frac;
+                         // Reference the fraction at the operating point
+                         // so the knob is directly interpretable.
+                         cfg.power.leakage_ref_temp = 110.0;
+                     });
+    }
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"leakage @110C", "policy", "avg pwr (W)", "emerg %",
                  "max T (C)", "mean duty"});
 
-    for (double frac : {0.0, 0.02, 0.04, 0.06}) {
-        SimConfig cfg;
-        cfg.power.leakage_enabled = frac > 0.0;
-        cfg.power.leakage_fraction_at_ref = frac;
-        // Reference the fraction at the operating point so the knob is
-        // directly interpretable.
-        cfg.power.leakage_ref_temp = 110.0;
-
+    for (double frac : fracs) {
         for (auto kind : {DtmPolicyKind::None, DtmPolicyKind::PID}) {
-            DtmPolicySettings s;
-            s.kind = kind;
-            const auto r = runner.runOne(profile, s, cfg);
+            const auto &r = res.at(profile.name, dtmPolicyKindName(kind),
+                                   "leak" + formatPercent(frac, 0));
             t.addRow({formatPercent(frac, 0), dtmPolicyKindName(kind),
                       formatDouble(r.avg_power, 1),
                       formatPercent(r.emergency_fraction, 2),

@@ -20,29 +20,41 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Ablation: controller sampling interval (PID on crafty)",
         "Section 5.3 (sampling-interval conjecture)");
 
-    ExperimentRunner runner(bench::standardProtocol());
     auto profile = specProfile("186.crafty");
+    const Cycle intervals[] = {250u,  500u,   1000u,  2000u,
+                               4000u, 8000u, 16000u, 32000u};
 
     DtmPolicySettings none;
     none.kind = DtmPolicyKind::None;
-    const auto base = runner.runOne(profile, none);
+    const auto base = session.runOne(profile, none);
+
+    SweepSpec spec = session.spec();
+    spec.workload(profile);
+    DtmPolicySettings pid;
+    pid.kind = DtmPolicyKind::PID;
+    spec.policy(pid);
+    for (Cycle interval : intervals) {
+        spec.variant(std::to_string(interval) + "cyc",
+                     [interval](SimConfig &cfg) {
+                         cfg.dtm.sample_interval = interval;
+                     });
+    }
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"interval (cycles)", "% of base IPC", "emerg %",
                  "max T (C)", "mean duty"});
-    for (Cycle interval : {250u, 500u, 1000u, 2000u, 4000u, 8000u,
-                           16000u, 32000u}) {
-        SimConfig cfg;
-        cfg.dtm.sample_interval = interval;
-        DtmPolicySettings s;
-        s.kind = DtmPolicyKind::PID;
-        const auto r = runner.runOne(profile, s, cfg);
+    for (Cycle interval : intervals) {
+        const auto &r =
+            res.at(profile.name, dtmPolicyKindName(DtmPolicyKind::PID),
+                   std::to_string(interval) + "cyc");
         t.addRow({std::to_string(interval),
                   formatPercent(r.ipc / base.ipc, 1),
                   formatPercent(r.emergency_fraction, 3),

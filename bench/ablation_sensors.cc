@@ -20,41 +20,65 @@
 
 using namespace thermctl;
 
-int
-main()
+namespace
 {
-    bench::printHeader("Ablation: temperature-sensor non-idealities "
-                       "(PID on apsi)",
-                       "Section 4.2 (sensor modeling, future work)");
 
-    ExperimentRunner runner(bench::standardProtocol());
+struct SensorCase
+{
+    const char *name;
+    const char *label;
+    SensorConfig sensor;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Session session(argc, argv,
+                           "Ablation: temperature-sensor non-idealities "
+                           "(PID on apsi)",
+                           "Section 4.2 (sensor modeling, future work)");
+
     auto profile = specProfile("301.apsi");
     DtmPolicySettings s;
     s.kind = DtmPolicyKind::None;
-    const auto base = runner.runOne(profile, s);
+    const auto base = session.runOne(profile, s);
     s.kind = DtmPolicyKind::PID;
+
+    const SensorCase cases[] = {
+        {"ideal", "ideal (paper)", SensorConfig{}},
+        {"offset-0.3", "offset -0.3 C (reads cool)",
+         SensorConfig{.offset = -0.3}},
+        {"offset+0.3", "offset +0.3 C (reads hot)",
+         SensorConfig{.offset = 0.3}},
+        {"noise0.05", "noise sigma 0.05 C",
+         SensorConfig{.noise_sigma = 0.05}},
+        {"noise0.2", "noise sigma 0.2 C",
+         SensorConfig{.noise_sigma = 0.2}},
+        {"quant0.25", "quantized 0.25 C", SensorConfig{.quantum = 0.25}},
+        {"quant1.0", "quantized 1.0 C", SensorConfig{.quantum = 1.0}},
+    };
+
+    SweepSpec spec = session.spec();
+    spec.workload(profile).policy(s);
+    for (const auto &c : cases) {
+        const SensorConfig sensor = c.sensor;
+        spec.variant(c.name,
+                     [sensor](SimConfig &cfg) { cfg.dtm.sensor = sensor; });
+    }
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"sensor model", "% of base IPC", "emerg %",
                  "max T (C)"});
-
-    auto run_with = [&](const std::string &label, SensorConfig sensor) {
-        SimConfig cfg;
-        cfg.dtm.sensor = sensor;
-        const auto r = runner.runOne(profile, s, cfg);
-        t.addRow({label, formatPercent(r.ipc / base.ipc, 1),
+    for (const auto &c : cases) {
+        const auto &r = res.at(
+            profile.name, dtmPolicyKindName(DtmPolicyKind::PID), c.name);
+        t.addRow({c.label, formatPercent(r.ipc / base.ipc, 1),
                   formatPercent(r.emergency_fraction, 3),
                   formatDouble(r.max_temperature, 2)});
-    };
-
-    run_with("ideal (paper)", SensorConfig{});
-    run_with("offset -0.3 C (reads cool)",
-             SensorConfig{.offset = -0.3});
-    run_with("offset +0.3 C (reads hot)", SensorConfig{.offset = 0.3});
-    run_with("noise sigma 0.05 C", SensorConfig{.noise_sigma = 0.05});
-    run_with("noise sigma 0.2 C", SensorConfig{.noise_sigma = 0.2});
-    run_with("quantized 0.25 C", SensorConfig{.quantum = 0.25});
-    run_with("quantized 1.0 C", SensorConfig{.quantum = 1.0});
+    }
 
     t.print(std::cout);
     return 0;

@@ -22,14 +22,15 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Ablation: simplified (Fig 3C) vs full tangential (Fig 3B) "
         "thermal model",
         "Section 4.3 model simplification");
 
-    const RunProtocol proto = bench::standardProtocol();
+    const RunProtocol proto = session.protocol();
 
     TextTable t;
     t.setHeader({"benchmark", "block", "avg |dT| (C)", "max |dT| (C)",

@@ -1,8 +1,19 @@
 /**
  * @file
- * Shared plumbing for the table/figure reproduction binaries: the
- * standard run protocol (overridable via THERMCTL_FAST=1 for quick
- * smoke runs), and the characterization sweep reused by Tables 4-8.
+ * Shared plumbing for the table/figure reproduction binaries.
+ *
+ * bench::Session is the one object a binary constructs: it parses the
+ * shared sweep flags (--jobs, --cache-dir, --no-cache, --quiet) and
+ * environment (THERMCTL_JOBS, THERMCTL_CACHE_DIR, THERMCTL_NO_CACHE,
+ * THERMCTL_FAST), owns the standard run protocol and a cache-backed
+ * SweepEngine with progress telemetry on stderr, and prints the
+ * standard experiment header. The shared no-DTM characterization sweep
+ * behind Tables 4-8 is one cached grid: the first binary to run it
+ * simulates, every later binary (and every later invocation) loads the
+ * results from the content-addressed cache.
+ *
+ * The pre-Session free functions (standardProtocol, characterizeAll,
+ * printHeader) remain as deprecated shims for one release.
  */
 
 #ifndef THERMCTL_BENCH_BENCH_UTIL_HH
@@ -11,18 +22,74 @@
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 namespace thermctl::bench
 {
 
-/** Standard protocol (honours THERMCTL_FAST=1). */
+/** One bench binary's experiment session. */
+class Session
+{
+  public:
+    /**
+     * Parse the shared flags from `argv` (fatal on unknown arguments,
+     * exits on --help), then print the standard header naming the
+     * experiment.
+     */
+    Session(int argc, char **argv, const std::string &title,
+            const std::string &paper_ref);
+
+    /** Environment-configured session without a header (tests). */
+    Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Standard run protocol (honours THERMCTL_FAST=1). */
+    const RunProtocol &protocol() const { return proto_; }
+
+    /** The cache-backed engine executing this session's sweeps. */
+    const SweepEngine &engine() const { return engine_; }
+
+    /** @return a fresh spec with the session protocol pre-installed. */
+    SweepSpec spec() const;
+
+    /** Execute a sweep with progress telemetry and a summary line. */
+    SweepResults run(const SweepSpec &spec) const;
+
+    /**
+     * The shared characterization sweep: all 18 benchmarks, no DTM,
+     * standard protocol (the grid behind paper Tables 4-8).
+     */
+    std::vector<RunResult> characterizeAll() const;
+
+    /** Run a single point through the engine (cached like any other). */
+    RunResult runOne(const WorkloadProfile &profile,
+                     const DtmPolicySettings &policy,
+                     const SimConfig &base = {}) const;
+
+    /** Print the standard header naming the experiment. */
+    static void printTitle(const std::string &title,
+                           const std::string &paper_ref);
+
+  private:
+    explicit Session(const SweepOptions &opts, bool quiet);
+
+    RunProtocol proto_;
+    SweepEngine engine_;
+    bool quiet_ = false;
+};
+
+/** @deprecated Use Session::protocol(). */
+[[deprecated("construct a bench::Session instead")]]
 RunProtocol standardProtocol();
 
-/** Run all 18 benchmarks with no DTM under the standard protocol. */
+/** @deprecated Use Session::characterizeAll(). */
+[[deprecated("construct a bench::Session instead")]]
 std::vector<RunResult> characterizeAll();
 
-/** Print the standard header naming the experiment. */
+/** @deprecated Use the Session constructor / Session::printTitle(). */
+[[deprecated("construct a bench::Session instead")]]
 void printHeader(const std::string &title, const std::string &paper_ref);
 
 } // namespace thermctl::bench

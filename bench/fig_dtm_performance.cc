@@ -23,20 +23,30 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "DTM evaluation: % of non-DTM IPC and emergency cycles, "
         "per technique",
         "Section 7 figures (performance of TM techniques)");
-
-    ExperimentRunner runner(bench::standardProtocol());
 
     const DtmPolicyKind policies[] = {
         DtmPolicyKind::Toggle1, DtmPolicyKind::Toggle2,
         DtmPolicyKind::Manual, DtmPolicyKind::P, DtmPolicyKind::PI,
         DtmPolicyKind::PID,
     };
+
+    SweepSpec spec = session.spec();
+    spec.workloads(allSpecProfiles());
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    spec.policy(s);
+    for (auto kind : policies) {
+        s.kind = kind;
+        spec.policy(s);
+    }
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     std::vector<std::string> header = {"benchmark", "base IPC"};
@@ -51,9 +61,8 @@ main()
     int counted = 0;
 
     for (const auto &profile : allSpecProfiles()) {
-        DtmPolicySettings s;
-        s.kind = DtmPolicyKind::None;
-        const auto base = runner.runOne(profile, s);
+        const auto &base = res.at(
+            profile.name, dtmPolicyKindName(DtmPolicyKind::None));
 
         std::vector<std::string> row = {profile.name,
                                         formatDouble(base.ipc, 2)};
@@ -61,8 +70,7 @@ main()
         if (thermally_active)
             ++counted;
         for (auto kind : policies) {
-            s.kind = kind;
-            const auto r = runner.runOne(profile, s);
+            const auto &r = res.at(profile.name, dtmPolicyKindName(kind));
             const double rel = base.ipc > 0 ? r.ipc / base.ipc : 1.0;
             row.push_back(formatPercent(rel, 1));
             row.push_back(formatPercent(r.emergency_fraction, 2));

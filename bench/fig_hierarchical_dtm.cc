@@ -25,34 +25,47 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Hierarchical DTM: PID toggling with a V/f scaling backup",
         "Section 2.1 (hierarchy of TM techniques)");
 
-    ExperimentRunner runner(bench::standardProtocol());
     auto profile = specProfile("301.apsi");
+    const DtmPolicyKind kinds[] = {DtmPolicyKind::PID,
+                                   DtmPolicyKind::VfScale,
+                                   DtmPolicyKind::Hierarchical};
+
+    SweepSpec spec = session.spec();
+    spec.workload(profile);
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    spec.policy(s);
+    for (auto kind : kinds) {
+        s.kind = kind;
+        spec.policy(s);
+    }
+    spec.variant("normal",
+                 [](SimConfig &cfg) { cfg.thermal.t_base = 108.0; });
+    spec.variant("degraded",
+                 [](SimConfig &cfg) { cfg.thermal.t_base = 110.2; });
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"cooling", "policy", "perf (wall-norm.)", "% of base",
                  "emerg %", "max T (C)"});
 
-    for (Celsius t_base : {108.0, 110.2}) {
-        SimConfig cfg;
-        cfg.thermal.t_base = t_base;
+    for (const char *cooling : {"normal", "degraded"}) {
+        const auto &base = res.at(
+            profile.name, dtmPolicyKindName(DtmPolicyKind::None), cooling);
 
-        DtmPolicySettings s;
-        s.kind = DtmPolicyKind::None;
-        const auto base = runner.runOne(profile, s, cfg);
-
-        const std::string label = t_base == 108.0
+        const std::string label = std::string(cooling) == "normal"
             ? "normal (108.0)"
             : "degraded (110.2)";
-        for (auto kind : {DtmPolicyKind::PID, DtmPolicyKind::VfScale,
-                          DtmPolicyKind::Hierarchical}) {
-            s.kind = kind;
-            const auto r = runner.runOne(profile, s, cfg);
+        for (auto kind : kinds) {
+            const auto &r =
+                res.at(profile.name, dtmPolicyKindName(kind), cooling);
             t.addRow({label, dtmPolicyKindName(kind),
                       formatDouble(r.ipc, 3),
                       formatPercent(r.ipc / base.ipc, 1),

@@ -21,9 +21,10 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Localized vs chip-wide heating speed under a power step",
         "Sections 4.2 and 6 (motivation)");
 

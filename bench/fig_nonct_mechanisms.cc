@@ -24,32 +24,43 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Non-CT microarchitectural DTM mechanisms: toggling vs "
         "throttling vs speculation control",
         "Section 2.1 (mechanism comparison)");
 
-    ExperimentRunner runner(bench::standardProtocol());
+    const char *benches[] = {"186.crafty", "301.apsi", "191.fma3d",
+                             "253.perlbmk"};
+    const DtmPolicyKind mechanisms[] = {
+        DtmPolicyKind::Toggle1, DtmPolicyKind::Toggle2,
+        DtmPolicyKind::Throttle, DtmPolicyKind::SpecControl};
+
+    SweepSpec spec = session.spec();
+    for (const char *name : benches)
+        spec.workload(specProfile(name));
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    spec.policy(s);
+    for (auto kind : mechanisms) {
+        s.kind = kind;
+        spec.policy(s);
+    }
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"benchmark", "mechanism", "% of base IPC", "emerg %",
                  "max T (C)"});
 
-    for (const char *name :
-         {"186.crafty", "301.apsi", "191.fma3d", "253.perlbmk"}) {
-        auto profile = specProfile(name);
-        DtmPolicySettings s;
-        s.kind = DtmPolicyKind::None;
-        const auto base = runner.runOne(profile, s);
+    for (const char *name : benches) {
+        const auto &base = res.at(
+            name, dtmPolicyKindName(DtmPolicyKind::None));
 
-        for (auto kind : {DtmPolicyKind::Toggle1, DtmPolicyKind::Toggle2,
-                          DtmPolicyKind::Throttle,
-                          DtmPolicyKind::SpecControl}) {
-            s.kind = kind;
-            const auto r = runner.runOne(profile, s);
-            t.addRow({profile.name, dtmPolicyKindName(kind),
+        for (auto kind : mechanisms) {
+            const auto &r = res.at(name, dtmPolicyKindName(kind));
+            t.addRow({name, dtmPolicyKindName(kind),
                       formatPercent(r.ipc / base.ipc, 1),
                       formatPercent(r.emergency_fraction, 2),
                       formatDouble(r.max_temperature, 2)});

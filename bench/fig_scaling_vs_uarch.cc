@@ -21,29 +21,41 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Voltage/frequency scaling vs microarchitectural DTM",
         "Section 2.1 (scaling techniques)");
 
-    ExperimentRunner runner(bench::standardProtocol());
+    const char *benches[] = {"186.crafty", "301.apsi", "177.mesa"};
+    const DtmPolicyKind kinds[] = {DtmPolicyKind::VfScale,
+                                   DtmPolicyKind::Toggle1,
+                                   DtmPolicyKind::PID};
+
+    SweepSpec spec = session.spec();
+    for (const char *name : benches)
+        spec.workload(specProfile(name));
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    spec.policy(s);
+    for (auto kind : kinds) {
+        s.kind = kind;
+        spec.policy(s);
+    }
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"benchmark", "policy", "perf (wall-clock norm.)",
                  "% of base", "emerg %", "max T (C)"});
 
-    for (const char *name : {"186.crafty", "301.apsi", "177.mesa"}) {
-        auto profile = specProfile(name);
-        DtmPolicySettings s;
-        s.kind = DtmPolicyKind::None;
-        const auto base = runner.runOne(profile, s);
+    for (const char *name : benches) {
+        const auto &base = res.at(
+            name, dtmPolicyKindName(DtmPolicyKind::None));
 
-        for (auto kind : {DtmPolicyKind::VfScale, DtmPolicyKind::Toggle1,
-                          DtmPolicyKind::PID}) {
-            s.kind = kind;
-            const auto r = runner.runOne(profile, s);
-            t.addRow({profile.name, dtmPolicyKindName(kind),
+        for (auto kind : kinds) {
+            const auto &r = res.at(name, dtmPolicyKindName(kind));
+            t.addRow({name, dtmPolicyKindName(kind),
                       formatDouble(r.ipc, 3),
                       formatPercent(r.ipc / base.ipc, 1),
                       formatPercent(r.emergency_fraction, 2),

@@ -26,9 +26,10 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Analytic setpoint selection from worst-case overshoot",
         "Section 2.2 (overshoot analysis -> setpoint choice)");
 
@@ -39,10 +40,9 @@ main()
     const Celsius t_base = cfg.thermal.t_base;
     const Celsius t_emerg = cfg.thermal.t_emergency;
 
-    ExperimentRunner runner(bench::standardProtocol());
     DtmPolicySettings none;
     none.kind = DtmPolicyKind::None;
-    const auto base = runner.runOne(cfg.workload, none);
+    const auto base = session.runOne(cfg.workload, none);
 
     TextTable t;
     t.setHeader({"controller", "worst-case overshoot",
@@ -72,7 +72,7 @@ main()
             s.ct_setpoint = setpoint;
             s.ct_range_low = setpoint - 0.2;
         }
-        const auto r = runner.runOne(cfg.workload, s);
+        const auto r = session.runOne(cfg.workload, s);
 
         t.addRow({controllerKindName(ck),
                   formatPercent(overshoot, 2),

@@ -21,32 +21,46 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader("Setpoint sensitivity of the PI/PID controllers",
-                       "Section 7 (choice of setpoint)");
+    bench::Session session(argc, argv,
+                           "Setpoint sensitivity of the PI/PID controllers",
+                           "Section 7 (choice of setpoint)");
 
-    ExperimentRunner runner(bench::standardProtocol());
     const char *benches[] = {"176.gcc", "186.crafty", "191.fma3d",
                              "301.apsi", "177.mesa", "187.facerec"};
+
+    SweepSpec spec = session.spec();
+    for (const char *name : benches)
+        spec.workload(specProfile(name));
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    spec.policy(s);
+    for (auto kind : {DtmPolicyKind::PI, DtmPolicyKind::PID}) {
+        for (double setpoint : {111.6, 111.2}) {
+            s.kind = kind;
+            s.ct_setpoint = setpoint;
+            s.ct_range_low = setpoint - 0.2;
+            spec.policy(s, std::string(dtmPolicyKindName(kind)) + "@" +
+                               formatDouble(setpoint, 1));
+        }
+    }
+    const SweepResults res = session.run(spec);
 
     TextTable t;
     t.setHeader({"benchmark", "policy", "setpoint", "% of base IPC",
                  "emerg %", "max T"});
 
     for (const char *name : benches) {
-        auto profile = specProfile(name);
-        DtmPolicySettings s;
-        s.kind = DtmPolicyKind::None;
-        const auto base = runner.runOne(profile, s);
+        const auto &base = res.at(
+            name, dtmPolicyKindName(DtmPolicyKind::None));
 
         for (auto kind : {DtmPolicyKind::PI, DtmPolicyKind::PID}) {
             for (double setpoint : {111.6, 111.2}) {
-                s.kind = kind;
-                s.ct_setpoint = setpoint;
-                s.ct_range_low = setpoint - 0.2;
-                const auto r = runner.runOne(profile, s);
-                t.addRow({profile.name, dtmPolicyKindName(kind),
+                const auto &r =
+                    res.at(name, std::string(dtmPolicyKindName(kind)) +
+                                     "@" + formatDouble(setpoint, 1));
+                t.addRow({name, dtmPolicyKindName(kind),
                           formatDouble(setpoint, 1),
                           formatPercent(r.ipc / base.ipc, 1),
                           formatPercent(r.emergency_fraction, 2),

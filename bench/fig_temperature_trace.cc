@@ -45,9 +45,10 @@ trace(DtmPolicyKind kind, std::uint64_t cycles, Cycle stride)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Temperature trace of the hottest structure: none / toggle1 / "
         "PID on crafty",
         "Section 7 (controller behaviour over time)");

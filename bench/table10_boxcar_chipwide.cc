@@ -20,13 +20,14 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Table 10: chip-wide boxcar power proxy vs. localized RC model",
         "Table 10 / Section 6");
 
-    const RunProtocol proto = bench::standardProtocol();
+    const RunProtocol proto = session.protocol();
     const double trigger_watts = 47.0;
 
     TextTable t;

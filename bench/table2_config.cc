@@ -14,10 +14,11 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader("Table 2: simulated processor configuration",
-                       "Table 2");
+    bench::Session session(
+        argc, argv, "Table 2: simulated processor configuration",
+        "Table 2");
 
     const SimConfig cfg;
     const auto &cpu = cfg.cpu;

@@ -22,9 +22,10 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Table 3: per-structure area and thermal-R/C estimates",
         "Table 3");
 

@@ -20,14 +20,15 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Table 4: per-benchmark IPC / power / thermal characteristics",
         "Table 4");
 
     const SimConfig cfg;
-    auto results = bench::characterizeAll();
+    auto results = session.characterizeAll();
 
     TextTable t;
     t.setHeader({"benchmark", "avg IPC", "avg pwr (W)", "avg temp (C)",

@@ -16,12 +16,13 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader("Table 5: categories of thermal behaviour",
-                       "Table 5");
+    bench::Session session(argc, argv,
+                           "Table 5: categories of thermal behaviour",
+                           "Table 5");
 
-    auto results = bench::characterizeAll();
+    auto results = session.characterizeAll();
 
     std::map<ThermalCategory, std::vector<std::string>> groups;
     int mismatches = 0;

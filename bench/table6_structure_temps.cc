@@ -16,13 +16,14 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Table 6: per-structure avg/max temperature by benchmark",
         "Table 6");
 
-    auto results = bench::characterizeAll();
+    auto results = session.characterizeAll();
 
     TextTable t;
     std::vector<std::string> header = {"benchmark"};

@@ -14,16 +14,17 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
     const SimConfig cfg;
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Table 7: % cycles above the emergency threshold ("
             + formatDouble(cfg.thermal.t_emergency, 1)
             + " C), by structure",
         "Table 7");
 
-    auto results = bench::characterizeAll();
+    auto results = session.characterizeAll();
 
     TextTable t;
     std::vector<std::string> header = {"benchmark", "any"};

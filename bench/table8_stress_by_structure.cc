@@ -17,16 +17,17 @@
 using namespace thermctl;
 
 int
-main()
+main(int argc, char **argv)
 {
     const SimConfig cfg;
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Table 8: % cycles above the stress level ("
             + formatDouble(cfg.thermal.stressLevel(), 1)
             + " C), by structure",
         "Table 8");
 
-    auto results = bench::characterizeAll();
+    auto results = session.characterizeAll();
 
     TextTable t;
     std::vector<std::string> header = {"benchmark", "any"};

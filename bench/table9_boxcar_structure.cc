@@ -67,13 +67,14 @@ runOne(const WorkloadProfile &profile, const RunProtocol &proto)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printHeader(
+    bench::Session session(
+        argc, argv,
         "Table 9: per-structure boxcar power proxy vs. RC model",
         "Table 9 / Section 6");
 
-    const RunProtocol proto = bench::standardProtocol();
+    const RunProtocol proto = session.protocol();
 
     TextTable t;
     t.setHeader({"benchmark", "emerg cyc", "missed 10K", "false 10K",

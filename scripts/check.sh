@@ -6,7 +6,10 @@
 #      instrumentation compiled in (THERMCTL_INVARIANTS=ON)
 #   3. ASan+UBSan build + ctest (same instrumentation; includes the
 #      property-fuzz suite under the sanitizers)
-#   4. clang-tidy build    (skipped when clang-tidy is absent)
+#   4. TSan build + parallel bench smoke: the sweep engine's worker
+#      pool and warm-cache read path run under -fsanitize=thread with
+#      THERMCTL_FAST=1
+#   5. clang-tidy build    (skipped when clang-tidy is absent)
 #
 # Each stage uses its own build tree under build-check/ so the matrix
 # never disturbs an existing build/ directory.
@@ -34,6 +37,22 @@ cmake -B "${base}/asan" -S . \
     -DTHERMCTL_INVARIANTS=ON "-DTHERMCTL_SANITIZE=address;undefined"
 cmake --build "${base}/asan" -j "${jobs}"
 ctest --test-dir "${base}/asan" --output-on-failure -j "${jobs}"
+
+stage "TSan parallel bench smoke"
+cmake -B "${base}/tsan" -S . "-DTHERMCTL_SANITIZE=thread"
+cmake --build "${base}/tsan" -j "${jobs}" \
+    --target test_sweep table4_characterization table6_structure_temps
+ctest --test-dir "${base}/tsan" --output-on-failure -R test_sweep
+tsan_cache="$(mktemp -d)"
+trap 'rm -rf "${tsan_cache}"' EXIT
+# Cold run exercises the worker pool + cache writes; the second binary
+# shares the characterization grid, so it exercises warm-cache reads.
+THERMCTL_FAST=1 THERMCTL_JOBS=8 THERMCTL_QUIET=1 \
+    "${base}/tsan/bench/table4_characterization" \
+    --cache-dir "${tsan_cache}" >/dev/null
+THERMCTL_FAST=1 THERMCTL_JOBS=8 THERMCTL_QUIET=1 \
+    "${base}/tsan/bench/table6_structure_temps" \
+    --cache-dir "${tsan_cache}" >/dev/null
 
 stage "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,0 +1,18 @@
+#include "common/hash.hh"
+
+namespace thermctl
+{
+
+std::string
+hashHex(std::uint64_t digest)
+{
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+        digest >>= 4;
+    }
+    return s;
+}
+
+} // namespace thermctl

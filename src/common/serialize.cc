@@ -1,0 +1,83 @@
+#include "common/serialize.hh"
+
+#include <cstring>
+
+namespace thermctl
+{
+
+void
+ByteWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+bool
+ByteReader::take(void *dst, std::size_t n)
+{
+    if (!ok_ || buf_.size() - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    std::memcpy(dst, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    unsigned char b = 0;
+    take(&b, 1);
+    return b;
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    unsigned char b[4] = {};
+    if (!take(b, sizeof(b)))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    unsigned char b[8] = {};
+    if (!take(b, sizeof(b)))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return ok_ ? v : 0.0;
+}
+
+std::string
+ByteReader::str()
+{
+    const std::uint64_t n = u64();
+    if (!ok_ || buf_.size() - pos_ < n) {
+        ok_ = false;
+        return {};
+    }
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+}
+
+} // namespace thermctl

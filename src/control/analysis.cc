@@ -4,6 +4,7 @@
 #include <cmath>
 #include <complex>
 #include <deque>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -51,7 +52,7 @@ simulateClosedLoop(const PidConfig &cfg, const FopdtPlant &plant,
     const double hi_band = sp + std::abs(sp) * spec.settling_band;
     const double lo_band = sp - std::abs(sp) * spec.settling_band;
     double last_outside = 0.0;
-    double peak = -1e300;
+    double peak = std::numeric_limits<double>::lowest();
 
     const std::uint64_t ctrl_steps = static_cast<std::uint64_t>(
         std::ceil(duration / cfg.dt));

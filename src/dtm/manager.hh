@@ -11,6 +11,7 @@
 #define THERMCTL_DTM_MANAGER_HH
 
 #include <memory>
+#include <limits>
 
 #include "dtm/actuator.hh"
 #include "dtm/policy.hh"
@@ -59,7 +60,7 @@ struct DtmStats
     std::uint64_t samples = 0;
     std::uint64_t engaged_cycles = 0;   ///< cycles with duty < 1
     double duty_sum = 0.0;              ///< mean duty = duty_sum / samples
-    Celsius max_temperature = -1e300;
+    Celsius max_temperature = std::numeric_limits<double>::lowest();
 
     double
     emergencyFraction() const

@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include "sim/sweep.hh"
+
 namespace thermctl
 {
 
@@ -28,6 +30,7 @@ ExperimentRunner::runOne(const WorkloadProfile &profile,
     // Wall-time-normalized performance: equals IPC except under
     // frequency scaling, which must be charged for its slower clock.
     result.ipc = sim.measuredPerformance();
+    result.raw_ipc = sim.measuredIpc();
     result.avg_power = sim.stats().avgPower();
 
     const auto &dtm_stats = sim.dtm().stats();
@@ -62,11 +65,12 @@ ExperimentRunner::runAll(const std::vector<WorkloadProfile> &profiles,
                          const DtmPolicySettings &policy,
                          const SimConfig &base) const
 {
-    std::vector<RunResult> results;
-    results.reserve(profiles.size());
-    for (const auto &profile : profiles)
-        results.push_back(runOne(profile, policy, base));
-    return results;
+    if (profiles.empty())
+        return {};
+    SweepSpec spec;
+    spec.protocol(protocol_).base(base).workloads(profiles).policy(
+        policy);
+    return SweepEngine().run(spec).results();
 }
 
 ThermalCategory

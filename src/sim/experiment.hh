@@ -34,6 +34,14 @@ struct RunResult
     ThermalCategory category = ThermalCategory::Medium;
 
     double ipc = 0.0;
+
+    /**
+     * Raw committed-per-cycle IPC, unnormalized for wall time. Equals
+     * `ipc` except under frequency scaling (see
+     * Simulator::measuredPerformance).
+     */
+    double raw_ipc = 0.0;
+
     Watts avg_power = 0.0;
     double emergency_fraction = 0.0; ///< cycles any block > emergency
     double stress_fraction = 0.0;    ///< cycles any block > stress
@@ -66,7 +74,15 @@ class ExperimentRunner
                      const DtmPolicySettings &policy,
                      const SimConfig &base = {}) const;
 
-    /** Run every profile under one policy. */
+    /**
+     * Run every profile under one policy.
+     *
+     * Thin wrapper over the sweep engine (sim/sweep.hh): profiles run
+     * concurrently on the default worker pool (THERMCTL_JOBS), results
+     * come back in profile order, and no disk cache is touched. Build a
+     * SweepSpec directly for multi-policy grids, variants, caching, or
+     * progress telemetry.
+     */
     std::vector<RunResult> runAll(
         const std::vector<WorkloadProfile> &profiles,
         const DtmPolicySettings &policy, const SimConfig &base = {}) const;

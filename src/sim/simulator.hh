@@ -10,6 +10,7 @@
 #define THERMCTL_SIM_SIMULATOR_HH
 
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "cpu/core.hh"
@@ -28,7 +29,7 @@ namespace thermctl
 struct StructureRunStats
 {
     double temp_sum = 0.0;
-    Celsius temp_max = -1e300;
+    Celsius temp_max = std::numeric_limits<double>::lowest();
     std::uint64_t emergency_cycles = 0;
     std::uint64_t stress_cycles = 0;
 };

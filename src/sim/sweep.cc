@@ -1,0 +1,659 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace thermctl
+{
+
+namespace
+{
+
+/**
+ * Code-version salt folded into every cache digest. Bump whenever a
+ * change alters simulation *behaviour* without altering any SimConfig
+ * field (new microarchitectural detail, changed constants, fixed bug):
+ * stale entries then miss instead of serving wrong results.
+ */
+constexpr std::string_view kSweepCacheSalt = "thermctl-sweep-v1";
+
+/** Cache entry magic ("ThermCtl Run, format 1"). */
+constexpr std::string_view kCacheMagic = "TCRUN001";
+
+// The digest must cover every configuration field: a field the hash
+// misses is a field whose change silently serves stale cached results.
+// These size guards force whoever adds a field to revisit the feed()
+// overloads below (and bump kSweepCacheSalt when behaviour changed).
+#if defined(__x86_64__) && defined(__linux__)
+static_assert(sizeof(InstructionMix) == 72
+                  && sizeof(WorkloadPhase) == 48
+                  && sizeof(WorkloadProfile) == 272,
+              "workload config changed: update feed() in sweep.cc");
+static_assert(sizeof(HybridPredictorConfig) == 56
+                  && sizeof(CpuConfig) == 136,
+              "cpu config changed: update feed() in sweep.cc");
+static_assert(sizeof(CacheConfig) == 56 && sizeof(TlbConfig) == 12
+                  && sizeof(MemoryHierarchyConfig) == 184,
+              "memory config changed: update feed() in sweep.cc");
+static_assert(sizeof(Technology) == 96 && sizeof(PowerConfig) == 264,
+              "power config changed: update feed() in sweep.cc");
+static_assert(sizeof(FloorplanConfig) == 144
+                  && sizeof(ThermalConfig) == 16,
+              "thermal config changed: update feed() in sweep.cc");
+static_assert(sizeof(SensorConfig) == 32 && sizeof(DtmConfig) == 72,
+              "dtm config changed: update feed() in sweep.cc");
+static_assert(sizeof(LoopShapingSpec) == 24
+                  && sizeof(DtmPolicySettings) == 112,
+              "policy settings changed: update feed() in sweep.cc");
+static_assert(sizeof(SimConfig) == 1240,
+              "SimConfig changed: update sweepConfigDigest()");
+#endif
+
+void
+feed(HashStream &h, const InstructionMix &m)
+{
+    h.f64(m.int_alu).f64(m.int_mult).f64(m.int_div);
+    h.f64(m.fp_alu).f64(m.fp_mult).f64(m.fp_div);
+    h.f64(m.load).f64(m.store).f64(m.branch);
+}
+
+void
+feed(HashStream &h, const WorkloadPhase &p)
+{
+    h.u64(p.length_insts).f64(p.fp_scale).f64(p.mem_scale);
+    h.f64(p.cold_frac_override).f64(p.dep_p_override);
+    h.f64(p.random_branch_override);
+}
+
+void
+feed(HashStream &h, const WorkloadProfile &w)
+{
+    h.str(w.name).u64(static_cast<std::uint64_t>(w.category));
+    feed(h, w.mix);
+    h.f64(w.dep_p).f64(w.second_src_prob);
+    h.f64(w.frac_loop_branches).f64(w.frac_biased_branches);
+    h.f64(w.frac_patterned_branches).f64(w.frac_random_branches);
+    h.f64(w.mean_trip_count).f64(w.call_prob);
+    h.f64(w.warm_frac).f64(w.cold_frac);
+    h.u64(w.hot_bytes).u64(w.warm_bytes).u64(w.cold_bytes);
+    h.f64(w.stride_frac);
+    h.u64(w.num_blocks).f64(w.mean_block_len);
+    h.u64(w.phases.size());
+    for (const auto &phase : w.phases)
+        feed(h, phase);
+    h.u64(w.seed);
+}
+
+void
+feed(HashStream &h, const CpuConfig &c)
+{
+    h.u64(c.fetch_width).u64(c.dispatch_width).u64(c.commit_width);
+    h.u64(c.int_issue_width).u64(c.fp_issue_width);
+    h.u64(c.window_size).u64(c.lsq_size);
+    h.u64(c.frontend_capacity).u64(c.frontend_depth);
+    h.u64(c.num_int_alu).u64(c.num_int_mult);
+    h.u64(c.num_fp_alu).u64(c.num_fp_mult).u64(c.num_mem_ports);
+    h.u64(c.lat_int_alu).u64(c.lat_int_mult).u64(c.lat_int_div);
+    h.u64(c.lat_fp_alu).u64(c.lat_fp_mult).u64(c.lat_fp_div);
+    h.u64(c.bpred.bimod_entries).u64(c.bpred.gag_entries);
+    h.u64(c.bpred.gag_history_bits).u64(c.bpred.chooser_entries);
+    h.u64(c.bpred.btb_entries).u64(c.bpred.btb_ways);
+    h.u64(c.bpred.ras_entries);
+}
+
+void
+feed(HashStream &h, const CacheConfig &c)
+{
+    h.str(c.name).u64(c.size_bytes).u64(c.assoc);
+    h.u64(c.block_bytes).u64(c.hit_latency);
+}
+
+void
+feed(HashStream &h, const MemoryHierarchyConfig &m)
+{
+    feed(h, m.l1i);
+    feed(h, m.l1d);
+    feed(h, m.l2);
+    h.u64(m.tlb.entries).u64(m.tlb.page_bytes).u64(m.tlb.miss_penalty);
+    h.u64(m.memory_latency);
+}
+
+void
+feed(HashStream &h, const PowerConfig &p)
+{
+    const Technology &t = p.tech;
+    h.f64(t.feature_um).f64(t.vdd).f64(t.freq_hz);
+    h.f64(t.c_gate_ff).f64(t.c_drain_ff).f64(t.c_wire_ff_per_um);
+    h.f64(t.cell_width_um).f64(t.cell_height_um).f64(t.port_pitch_um);
+    h.f64(t.sense_amp_energy_fj).f64(t.bitline_swing_v);
+    h.f64(t.array_energy_scale);
+    h.u64(static_cast<std::uint64_t>(p.gating)).f64(p.idle_fraction);
+    h.f64(p.e_int_alu_op).f64(p.e_int_mult_op);
+    h.f64(p.e_fp_alu_op).f64(p.e_fp_mult_op);
+    h.f64(p.rest_base_watts).f64(p.e_decode_op);
+    h.f64(p.voltage_scaling_alpha);
+    h.b(p.leakage_enabled).f64(p.leakage_fraction_at_ref);
+    h.f64(p.leakage_ref_temp).f64(p.leakage_doubling_c);
+    h.f64s(p.structure_scale);
+}
+
+void
+feed(HashStream &h, const FloorplanConfig &f)
+{
+    h.f64(f.die_thickness_m).f64(f.active_layer_m).f64(f.reference_temp);
+    h.f64s(f.k_spread);
+    h.f64(f.chip_resistance).f64(f.chip_capacitance).f64(f.ambient);
+    h.str(f.flp_path);
+}
+
+void
+feed(HashStream &h, const DtmConfig &d)
+{
+    h.u64(d.sample_interval);
+    h.u64(static_cast<std::uint64_t>(d.engagement));
+    h.u64(d.interrupt_delay).u64(d.resync_cycles).u64(d.toggle_levels);
+    h.f64(d.sensor.offset).f64(d.sensor.noise_sigma);
+    h.f64(d.sensor.quantum).u64(d.sensor.seed);
+}
+
+void
+feed(HashStream &h, const DtmPolicySettings &s)
+{
+    h.u64(static_cast<std::uint64_t>(s.kind));
+    h.f64(s.nonct_trigger).u64(s.policy_delay);
+    h.f64(s.p_setpoint).f64(s.p_range_low);
+    h.f64(s.ct_setpoint).f64(s.ct_range_low);
+    h.f64(s.shaping.phase_margin_deg).f64(s.shaping.crossover_fraction);
+    h.f64(s.shaping.max_crossover_tau_mult);
+    h.u64(s.throttle_width).u64(s.spec_max_branches);
+    h.f64(s.vf_scale).u64(s.vf_policy_delay);
+    h.f64(s.hierarchy_backup_trigger);
+}
+
+/** @return true and fill `result` when `path` holds a valid entry. */
+bool
+loadCacheEntry(const std::filesystem::path &path, std::uint64_t digest,
+               RunResult &result)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    if (data.size() < kCacheMagic.size() + 8)
+        return false;
+    if (std::string_view(data).substr(0, kCacheMagic.size())
+        != kCacheMagic) {
+        return false;
+    }
+    ByteReader r(
+        std::string_view(data).substr(kCacheMagic.size()));
+    if (r.u64() != digest || !r.ok())
+        return false;
+    return deserializeRunResult(
+        std::string_view(data).substr(kCacheMagic.size() + 8), result);
+}
+
+void
+storeCacheEntry(const std::filesystem::path &path, std::uint64_t digest,
+                const RunResult &result)
+{
+    // Write-to-temp + rename keeps concurrent writers (threads of this
+    // process or entirely separate bench binaries) from ever exposing a
+    // torn entry; the loser of a rename race simply overwrites an
+    // identical file.
+    static std::atomic<bool> warned{false};
+    const auto tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const auto ticks = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    std::filesystem::path tmp = path;
+    tmp += ".tmp." + hashHex(tid ^ ticks);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            if (!warned.exchange(true))
+                warn("sweep: cannot write cache entry ", tmp.string(),
+                     "; caching continues best-effort");
+            return;
+        }
+        out.write(kCacheMagic.data(),
+                  static_cast<std::streamsize>(kCacheMagic.size()));
+        ByteWriter w;
+        w.u64(digest);
+        const std::string body = serializeRunResult(result);
+        out.write(w.buffer().data(),
+                  static_cast<std::streamsize>(w.buffer().size()));
+        out.write(body.data(), static_cast<std::streamsize>(body.size()));
+        if (!out) {
+            if (!warned.exchange(true))
+                warn("sweep: short write on cache entry ", tmp.string());
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        if (!warned.exchange(true))
+            warn("sweep: cannot publish cache entry ", path.string(),
+                 " (", ec.message(), ")");
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------- SweepSpec
+
+std::string
+sweepKey(std::string_view workload, std::string_view policy,
+         std::string_view variant)
+{
+    std::string key;
+    key.reserve(workload.size() + policy.size() + variant.size() + 2);
+    key.append(workload).append("/").append(policy);
+    if (!variant.empty())
+        key.append("/").append(variant);
+    return key;
+}
+
+SweepSpec &
+SweepSpec::protocol(const RunProtocol &proto)
+{
+    proto_ = proto;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::base(const SimConfig &cfg)
+{
+    base_ = cfg;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::workload(const WorkloadProfile &profile)
+{
+    workloads_.push_back(profile);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::workloads(const std::vector<WorkloadProfile> &profiles)
+{
+    workloads_.insert(workloads_.end(), profiles.begin(), profiles.end());
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::policy(const DtmPolicySettings &policy, std::string label)
+{
+    if (label.empty())
+        label = dtmPolicyKindName(policy.kind);
+    policies_.emplace_back(policy, std::move(label));
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::policies(const std::vector<DtmPolicySettings> &policies)
+{
+    for (const auto &p : policies)
+        policy(p);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::variant(std::string name,
+                   std::function<void(SimConfig &)> apply)
+{
+    variants_.push_back(SweepVariant{std::move(name), std::move(apply)});
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::reseedWorkloads(bool on)
+{
+    reseed_ = on;
+    return *this;
+}
+
+std::size_t
+SweepSpec::size() const
+{
+    const std::size_t w = workloads_.empty() ? 1 : workloads_.size();
+    const std::size_t p = policies_.empty() ? 1 : policies_.size();
+    const std::size_t v = variants_.empty() ? 1 : variants_.size();
+    return w * p * v;
+}
+
+std::vector<SweepPoint>
+SweepSpec::points() const
+{
+    std::vector<WorkloadProfile> workloads = workloads_;
+    if (workloads.empty())
+        workloads.push_back(base_.workload);
+
+    std::vector<std::pair<DtmPolicySettings, std::string>> policies =
+        policies_;
+    if (policies.empty())
+        policies.emplace_back(base_.policy,
+                              dtmPolicyKindName(base_.policy.kind));
+
+    std::vector<SweepVariant> variants = variants_;
+    if (variants.empty())
+        variants.push_back(SweepVariant{"", {}});
+
+    std::vector<SweepPoint> points;
+    points.reserve(workloads.size() * policies.size() * variants.size());
+    std::unordered_map<std::string, std::size_t> seen;
+
+    for (const auto &w : workloads) {
+        for (const auto &[policy, label] : policies) {
+            for (const auto &v : variants) {
+                SweepPoint pt;
+                pt.key = sweepKey(w.name, label, v.name);
+                pt.seed = hashString(pt.key);
+                pt.index = points.size();
+                pt.config = base_;
+                if (v.apply)
+                    v.apply(pt.config);
+                pt.config.workload = w;
+                pt.config.policy = policy;
+                if (reseed_)
+                    pt.config.workload.seed = pt.seed;
+                auto [it, fresh] = seen.emplace(pt.key, pt.index);
+                if (!fresh) {
+                    fatal("sweep: duplicate grid point key '", pt.key,
+                          "' (give distinct policy labels or variant "
+                          "names)");
+                }
+                points.push_back(std::move(pt));
+            }
+        }
+    }
+    return points;
+}
+
+// ------------------------------------------------------------ SweepResults
+
+std::vector<RunResult>
+SweepResults::results() const
+{
+    std::vector<RunResult> out;
+    out.reserve(outcomes_.size());
+    for (const auto &oc : outcomes_)
+        out.push_back(oc.result);
+    return out;
+}
+
+const RunResult *
+SweepResults::find(std::string_view key) const
+{
+    for (const auto &oc : outcomes_)
+        if (oc.point.key == key)
+            return &oc.result;
+    return nullptr;
+}
+
+const RunResult &
+SweepResults::at(std::string_view key) const
+{
+    const RunResult *r = find(key);
+    if (!r)
+        fatal("sweep: no grid point with key '", std::string(key), "'");
+    return *r;
+}
+
+const RunResult &
+SweepResults::at(std::string_view workload, std::string_view policy,
+                 std::string_view variant) const
+{
+    return at(sweepKey(workload, policy, variant));
+}
+
+// ------------------------------------------------------------- SweepEngine
+
+SweepEngine::SweepEngine(const SweepOptions &opts) : opts_(opts) {}
+
+void
+SweepEngine::setTelemetry(SweepTelemetry telemetry)
+{
+    telemetry_ = std::move(telemetry);
+}
+
+unsigned
+SweepEngine::defaultJobs()
+{
+    if (const char *env = std::getenv("THERMCTL_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        warn("sweep: ignoring invalid THERMCTL_JOBS='", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::string
+SweepEngine::defaultCacheDir()
+{
+    if (const char *env = std::getenv("THERMCTL_CACHE_DIR"))
+        return env;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"))
+        return (std::filesystem::path(xdg) / "thermctl").string();
+    if (const char *home = std::getenv("HOME")) {
+        return (std::filesystem::path(home) / ".cache" / "thermctl")
+            .string();
+    }
+    return (std::filesystem::temp_directory_path() / "thermctl-cache")
+        .string();
+}
+
+unsigned
+SweepEngine::effectiveJobs(std::size_t grid_size) const
+{
+    const unsigned jobs = opts_.jobs ? opts_.jobs : defaultJobs();
+    if (grid_size == 0)
+        return 1;
+    return static_cast<unsigned>(
+        std::min<std::size_t>(jobs, grid_size));
+}
+
+SweepResults
+SweepEngine::run(const SweepSpec &spec) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
+    std::vector<SweepPoint> points = spec.points();
+    const RunProtocol proto = spec.runProtocol();
+    const std::size_t n = points.size();
+
+    SweepResults out;
+    out.outcomes_.resize(n);
+    if (n == 0)
+        return out;
+
+    std::filesystem::path cache_root;
+    bool caching = opts_.use_cache;
+    if (caching) {
+        cache_root = opts_.cache_dir.empty() ? defaultCacheDir()
+                                             : opts_.cache_dir;
+        std::error_code ec;
+        std::filesystem::create_directories(cache_root, ec);
+        if (ec) {
+            warn("sweep: cannot create cache directory '",
+                 cache_root.string(), "' (", ec.message(),
+                 "); caching disabled for this run");
+            caching = false;
+        }
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex; // serializes telemetry + error capture
+    std::exception_ptr error;
+
+    auto work = [&]() {
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            SweepPoint &pt = points[i];
+            if (telemetry_.on_run_start) {
+                std::lock_guard<std::mutex> lock(mutex);
+                telemetry_.on_run_start(pt, n);
+            }
+            try {
+                const auto p0 = Clock::now();
+                SweepOutcome &oc = out.outcomes_[i];
+                const std::uint64_t digest =
+                    sweepConfigDigest(pt.config, proto);
+                std::filesystem::path entry;
+                bool hit = false;
+                if (caching) {
+                    entry = cache_root / (hashHex(digest) + ".run");
+                    hit = loadCacheEntry(entry, digest, oc.result);
+                }
+                if (!hit) {
+                    ExperimentRunner runner(proto);
+                    oc.result = runner.runOne(pt.config.workload,
+                                              pt.config.policy,
+                                              pt.config);
+                    if (caching)
+                        storeCacheEntry(entry, digest, oc.result);
+                }
+                oc.cache_hit = hit;
+                oc.wall_seconds =
+                    std::chrono::duration<double>(Clock::now() - p0)
+                        .count();
+                oc.point = std::move(pt);
+                if (telemetry_.on_run_done) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    telemetry_.on_run_done(oc, n);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    const unsigned jobs = effectiveJobs(n);
+    if (jobs <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    if (error)
+        std::rethrow_exception(error);
+
+    for (const auto &oc : out.outcomes_)
+        out.cache_hits_ += oc.cache_hit ? 1 : 0;
+    out.wall_seconds_ =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return out;
+}
+
+// --------------------------------------------------- digest + serialization
+
+std::uint64_t
+sweepConfigDigest(const SimConfig &cfg, const RunProtocol &proto)
+{
+    HashStream h;
+    h.str(kSweepCacheSalt);
+    h.u64(kNumStructures);
+    h.u64(proto.warmup_cycles).u64(proto.measure_cycles);
+    feed(h, cfg.workload);
+    h.str(cfg.trace_path).b(cfg.trace_loop);
+    feed(h, cfg.cpu);
+    feed(h, cfg.memory);
+    feed(h, cfg.power);
+    feed(h, cfg.floorplan);
+    h.f64(cfg.thermal.t_base).f64(cfg.thermal.t_emergency);
+    feed(h, cfg.dtm);
+    feed(h, cfg.policy);
+    return h.digest();
+}
+
+std::string
+serializeRunResult(const RunResult &result)
+{
+    ByteWriter w;
+    w.str(result.benchmark);
+    w.str(result.policy);
+    w.u8(static_cast<std::uint8_t>(result.category));
+    w.f64(result.ipc);
+    w.f64(result.raw_ipc);
+    w.f64(result.avg_power);
+    w.f64(result.emergency_fraction);
+    w.f64(result.stress_fraction);
+    w.f64(result.max_temperature);
+    w.f64(result.mean_duty);
+    w.u64(result.structures.size());
+    for (const auto &s : result.structures) {
+        w.f64(s.avg_temp);
+        w.f64(s.max_temp);
+        w.f64(s.emergency_fraction);
+        w.f64(s.stress_fraction);
+        w.f64(s.avg_power);
+    }
+    return w.take();
+}
+
+bool
+deserializeRunResult(std::string_view buffer, RunResult &out)
+{
+    ByteReader r(buffer);
+    out.benchmark = r.str();
+    out.policy = r.str();
+    const std::uint8_t category = r.u8();
+    if (category > static_cast<std::uint8_t>(ThermalCategory::Low))
+        return false;
+    out.category = static_cast<ThermalCategory>(category);
+    out.ipc = r.f64();
+    out.raw_ipc = r.f64();
+    out.avg_power = r.f64();
+    out.emergency_fraction = r.f64();
+    out.stress_fraction = r.f64();
+    out.max_temperature = r.f64();
+    out.mean_duty = r.f64();
+    if (r.u64() != out.structures.size())
+        return false;
+    for (auto &s : out.structures) {
+        s.avg_temp = r.f64();
+        s.max_temp = r.f64();
+        s.emergency_fraction = r.f64();
+        s.stress_fraction = r.f64();
+        s.avg_power = r.f64();
+    }
+    return r.atEnd();
+}
+
+} // namespace thermctl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 #include "thermal/silicon.hh"
@@ -81,7 +82,7 @@ GridThermalModel::GridThermalModel(const Floorplan &floorplan,
     }
 
     // Euler stability: dt_sub < C / G_total. Keep a 4x safety margin.
-    double min_tau = 1e300;
+    double min_tau = std::numeric_limits<double>::max();
     for (std::size_t i = 0; i < total; ++i) {
         const double g_total = g_vert_[i] + 4.0 * g_lat_;
         min_tau = std::min(min_tau, cell_c / g_total);
@@ -161,7 +162,7 @@ GridThermalModel::cellAt(double x_mm, double y_mm) const
 Celsius
 GridThermalModel::blockMax(StructureId id) const
 {
-    Celsius best = -1e300;
+    Celsius best = std::numeric_limits<double>::lowest();
     for (std::size_t i = 0; i < temps_.size(); ++i)
         if (owner_[i] == id)
             best = std::max(best, temps_[i]);
@@ -185,7 +186,8 @@ GridThermalModel::blockMean(StructureId id) const
 Celsius
 GridThermalModel::blockGradient(StructureId id) const
 {
-    Celsius lo = 1e300, hi = -1e300;
+    Celsius lo = std::numeric_limits<double>::max(),
+            hi = std::numeric_limits<double>::lowest();
     for (std::size_t i = 0; i < temps_.size(); ++i) {
         if (owner_[i] == id) {
             lo = std::min(lo, temps_[i]);

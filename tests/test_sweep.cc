@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the sweep engine (sim/sweep.hh): grid resolution, key/seed
+ * stability, result serialization, cache-key digests, parallel
+ * determinism, and the on-disk result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "sim/sweep.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+namespace
+{
+
+/** Short protocol so grid tests stay fast. */
+RunProtocol
+shortProtocol()
+{
+    RunProtocol proto;
+    proto.warmup_cycles = 4000;
+    proto.measure_cycles = 12000;
+    return proto;
+}
+
+/** A 3x3 grid of real profiles x policies. */
+SweepSpec
+smallGrid()
+{
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    for (const char *name : {"186.crafty", "301.apsi", "164.gzip"})
+        spec.workload(specProfile(name));
+    for (auto kind : {DtmPolicyKind::None, DtmPolicyKind::Toggle1,
+                      DtmPolicyKind::PID}) {
+        DtmPolicySettings s;
+        s.kind = kind;
+        spec.policy(s);
+    }
+    return spec;
+}
+
+std::vector<std::string>
+serializeAll(const SweepResults &res)
+{
+    std::vector<std::string> bytes;
+    for (const auto &oc : res.outcomes())
+        bytes.push_back(serializeRunResult(oc.result));
+    return bytes;
+}
+
+/** Scoped temporary directory for cache tests. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        path_ = std::filesystem::temp_directory_path()
+            / ("thermctl_sweep_test_" + std::to_string(::getpid()) + "_"
+               + std::to_string(counter_++));
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::filesystem::path &path() const { return path_; }
+
+  private:
+    static inline int counter_ = 0;
+    std::filesystem::path path_;
+};
+
+} // namespace
+
+TEST(SweepKey, FormatAndStability)
+{
+    EXPECT_EQ(sweepKey("186.crafty", "PID"), "186.crafty/PID");
+    EXPECT_EQ(sweepKey("186.crafty", "PID", "direct"),
+              "186.crafty/PID/direct");
+}
+
+TEST(SweepSpec, GridResolutionOrderAndSeeds)
+{
+    SweepSpec spec = smallGrid();
+    spec.variant("a", [](SimConfig &) {});
+    spec.variant("b", [](SimConfig &cfg) { cfg.dtm.sample_interval = 500; });
+
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 18u);
+    EXPECT_EQ(spec.size(), 18u);
+
+    // workloads outer, policies middle, variants inner.
+    EXPECT_EQ(points[0].key, "186.crafty/none/a");
+    EXPECT_EQ(points[1].key, "186.crafty/none/b");
+    EXPECT_EQ(points[2].key, "186.crafty/toggle1/a");
+    EXPECT_EQ(points[6].key, "301.apsi/none/a");
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        // Seeds are a pure function of the key.
+        EXPECT_EQ(points[i].seed, hashString(points[i].key));
+    }
+
+    // The variant override resolved into the point's config.
+    EXPECT_EQ(points[1].config.dtm.sample_interval, 500u);
+    EXPECT_NE(points[0].config.dtm.sample_interval, 500u);
+}
+
+TEST(SweepSpec, EmptyAxesDefaultToNeutralElements)
+{
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].config.policy.kind, SimConfig{}.policy.kind);
+}
+
+TEST(SweepSpec, DuplicateKeysAreFatal)
+{
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::PID;
+    spec.policy(s);
+    s.ct_setpoint = 111.2;
+    spec.policy(s); // same default label "PID"
+    EXPECT_THROW(spec.points(), FatalError);
+}
+
+TEST(SweepSpec, ReseedWorkloadsFoldsKeySeed)
+{
+    SweepSpec plain = smallGrid();
+    SweepSpec reseeded = smallGrid();
+    reseeded.reseedWorkloads();
+    const auto p = plain.points();
+    const auto r = reseeded.points();
+    ASSERT_EQ(p.size(), r.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        EXPECT_EQ(r[i].config.workload.seed, r[i].seed);
+        EXPECT_NE(r[i].config.workload.seed, p[i].config.workload.seed);
+    }
+}
+
+TEST(SweepSerialization, RoundTripsEveryField)
+{
+    RunResult r;
+    r.benchmark = "186.crafty";
+    r.policy = "PID";
+    r.category = ThermalCategory::High;
+    r.ipc = 1.25;
+    r.raw_ipc = 1.5;
+    r.avg_power = 42.5;
+    r.emergency_fraction = 0.001;
+    r.stress_fraction = 0.25;
+    r.max_temperature = 111.75;
+    r.mean_duty = 0.875;
+    for (std::size_t i = 0; i < r.structures.size(); ++i) {
+        r.structures[i].avg_temp = 100.0 + double(i);
+        r.structures[i].max_temp = 110.0 + double(i);
+        r.structures[i].emergency_fraction = 0.01 * double(i);
+        r.structures[i].stress_fraction = 0.02 * double(i);
+        r.structures[i].avg_power = 1.5 * double(i);
+    }
+
+    const std::string bytes = serializeRunResult(r);
+    RunResult out;
+    ASSERT_TRUE(deserializeRunResult(bytes, out));
+    EXPECT_EQ(serializeRunResult(out), bytes);
+    EXPECT_EQ(out.benchmark, r.benchmark);
+    EXPECT_EQ(out.policy, r.policy);
+    EXPECT_EQ(out.category, r.category);
+    EXPECT_EQ(out.raw_ipc, r.raw_ipc);
+    EXPECT_EQ(out.mean_duty, r.mean_duty);
+    EXPECT_EQ(double(out.structures[5].max_temp),
+              double(r.structures[5].max_temp));
+}
+
+TEST(SweepSerialization, RejectsMalformedBuffers)
+{
+    RunResult r;
+    r.benchmark = "x";
+    const std::string bytes = serializeRunResult(r);
+
+    RunResult out;
+    EXPECT_FALSE(deserializeRunResult("", out));
+    EXPECT_FALSE(
+        deserializeRunResult(std::string_view(bytes).substr(0, 10), out));
+    std::string trailing = bytes + "junk";
+    EXPECT_FALSE(deserializeRunResult(trailing, out));
+}
+
+TEST(SweepDigest, SensitiveToEveryAxisItCovers)
+{
+    const SimConfig base;
+    const RunProtocol proto = shortProtocol();
+    const std::uint64_t d0 = sweepConfigDigest(base, proto);
+
+    // Pure function of its inputs.
+    EXPECT_EQ(sweepConfigDigest(base, proto), d0);
+
+    SimConfig c1 = base;
+    c1.dtm.sample_interval = base.dtm.sample_interval + 1;
+    EXPECT_NE(sweepConfigDigest(c1, proto), d0);
+
+    SimConfig c2 = base;
+    c2.thermal.t_emergency = double(base.thermal.t_emergency) + 0.1;
+    EXPECT_NE(sweepConfigDigest(c2, proto), d0);
+
+    SimConfig c3 = base;
+    c3.policy.ct_setpoint = double(base.policy.ct_setpoint) - 0.4;
+    EXPECT_NE(sweepConfigDigest(c3, proto), d0);
+
+    SimConfig c4 = base;
+    c4.workload.seed += 1;
+    EXPECT_NE(sweepConfigDigest(c4, proto), d0);
+
+    RunProtocol p2 = proto;
+    p2.measure_cycles += 1;
+    EXPECT_NE(sweepConfigDigest(base, p2), d0);
+}
+
+TEST(SweepEngine, ParallelResultsBitIdenticalToSerial)
+{
+    const SweepSpec spec = smallGrid();
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    const SweepResults r1 = SweepEngine(serial).run(spec);
+
+    SweepOptions parallel;
+    parallel.jobs = 8;
+    const SweepResults r8 = SweepEngine(parallel).run(spec);
+
+    ASSERT_EQ(r1.size(), 9u);
+    ASSERT_EQ(r8.size(), 9u);
+    EXPECT_EQ(r1.simulated(), 9u);
+    EXPECT_EQ(r8.simulated(), 9u);
+
+    const auto b1 = serializeAll(r1);
+    const auto b8 = serializeAll(r8);
+    for (std::size_t i = 0; i < b1.size(); ++i) {
+        EXPECT_EQ(b1[i], b8[i]) << "point " << r1.outcomes()[i].point.key;
+        EXPECT_EQ(r1.outcomes()[i].point.key, r8.outcomes()[i].point.key);
+    }
+}
+
+TEST(SweepEngine, WarmCacheServesBitIdenticalResults)
+{
+    TempDir cache;
+    const SweepSpec spec = smallGrid();
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+
+    const SweepResults cold = SweepEngine(opts).run(spec);
+    EXPECT_EQ(cold.simulated(), 9u);
+    EXPECT_EQ(cold.cacheHits(), 0u);
+
+    const SweepResults warm = SweepEngine(opts).run(spec);
+    EXPECT_EQ(warm.simulated(), 0u); // nothing re-simulated
+    EXPECT_EQ(warm.cacheHits(), 9u);
+
+    EXPECT_EQ(serializeAll(cold), serializeAll(warm));
+}
+
+TEST(SweepEngine, CacheInvalidatesWhenAConfigFieldChanges)
+{
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+    const SweepEngine engine(opts);
+
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    spec.workload(specProfile("186.crafty"));
+    DtmPolicySettings pid;
+    pid.kind = DtmPolicyKind::PID;
+    spec.policy(pid);
+
+    EXPECT_EQ(engine.run(spec).simulated(), 1u);
+    EXPECT_EQ(engine.run(spec).cacheHits(), 1u);
+
+    // Any changed field must miss: same key, different digest.
+    SimConfig tweaked;
+    tweaked.dtm.sample_interval = 2000;
+    spec.base(tweaked);
+    const SweepResults changed = engine.run(spec);
+    EXPECT_EQ(changed.simulated(), 1u);
+    EXPECT_EQ(changed.cacheHits(), 0u);
+}
+
+TEST(SweepEngine, CorruptCacheEntriesDegradeToMisses)
+{
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+    const SweepEngine engine(opts);
+
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    spec.workload(specProfile("164.gzip"));
+
+    const SweepResults first = engine.run(spec);
+    ASSERT_EQ(first.simulated(), 1u);
+
+    // Truncate every cache file to garbage.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cache.path())) {
+        FILE *f = std::fopen(entry.path().c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a cache entry", f);
+        std::fclose(f);
+    }
+
+    const SweepResults second = engine.run(spec);
+    EXPECT_EQ(second.simulated(), 1u);
+    EXPECT_EQ(second.cacheHits(), 0u);
+    EXPECT_EQ(serializeAll(first), serializeAll(second));
+}
+
+TEST(SweepEngine, LookupByKeyAndTriple)
+{
+    const SweepSpec spec = smallGrid();
+    SweepOptions opts;
+    opts.jobs = 4;
+    const SweepResults res = SweepEngine(opts).run(spec);
+
+    EXPECT_NE(res.find("301.apsi/PID"), nullptr);
+    EXPECT_EQ(res.find("301.apsi/nope"), nullptr);
+    const RunResult &r = res.at("301.apsi", "PID");
+    EXPECT_EQ(r.benchmark, "301.apsi");
+    EXPECT_THROW(res.at("no/such/point"), FatalError);
+}
