@@ -195,24 +195,4 @@ Session::printTitle(const std::string &title,
                  "=========================\n";
 }
 
-// ------------------------------------------- deprecated pre-Session shims
-
-RunProtocol
-standardProtocol()
-{
-    return makeProtocol();
-}
-
-std::vector<RunResult>
-characterizeAll()
-{
-    return Session().characterizeAll();
-}
-
-void
-printHeader(const std::string &title, const std::string &paper_ref)
-{
-    Session::printTitle(title, paper_ref);
-}
-
 } // namespace thermctl::bench

@@ -11,9 +11,6 @@
  * behind Tables 4-8 is one cached grid: the first binary to run it
  * simulates, every later binary (and every later invocation) loads the
  * results from the content-addressed cache.
- *
- * The pre-Session free functions (standardProtocol, characterizeAll,
- * printHeader) remain as deprecated shims for one release.
  */
 
 #ifndef THERMCTL_BENCH_BENCH_UTIL_HH
@@ -79,18 +76,6 @@ class Session
     SweepEngine engine_;
     bool quiet_ = false;
 };
-
-/** @deprecated Use Session::protocol(). */
-[[deprecated("construct a bench::Session instead")]]
-RunProtocol standardProtocol();
-
-/** @deprecated Use Session::characterizeAll(). */
-[[deprecated("construct a bench::Session instead")]]
-std::vector<RunResult> characterizeAll();
-
-/** @deprecated Use the Session constructor / Session::printTitle(). */
-[[deprecated("construct a bench::Session instead")]]
-void printHeader(const std::string &title, const std::string &paper_ref);
 
 } // namespace thermctl::bench
 

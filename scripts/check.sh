@@ -6,10 +6,14 @@
 #      instrumentation compiled in (THERMCTL_INVARIANTS=ON)
 #   3. ASan+UBSan build + ctest (same instrumentation; includes the
 #      property-fuzz suite under the sanitizers)
-#   4. TSan build + parallel bench smoke: the sweep engine's worker
+#   4. serve smoke: the thermctl_serve daemon (ASan+UBSan build) under
+#      concurrent clients — a duplicate pair must coalesce, client
+#      output must be bit-identical to a direct thermctl_run, and
+#      SIGTERM must drain cleanly with exit code 0
+#   5. TSan build + parallel bench smoke: the sweep engine's worker
 #      pool and warm-cache read path run under -fsanitize=thread with
 #      THERMCTL_FAST=1
-#   5. clang-tidy build    (skipped when clang-tidy is absent)
+#   6. clang-tidy build    (skipped when clang-tidy is absent)
 #
 # Each stage uses its own build tree under build-check/ so the matrix
 # never disturbs an existing build/ directory.
@@ -37,6 +41,61 @@ cmake -B "${base}/asan" -S . \
     -DTHERMCTL_INVARIANTS=ON "-DTHERMCTL_SANITIZE=address;undefined"
 cmake --build "${base}/asan" -j "${jobs}"
 ctest --test-dir "${base}/asan" --output-on-failure -j "${jobs}"
+
+stage "serve smoke (ASan+UBSan daemon, concurrent clients)"
+smoke_dir="$(mktemp -d)"
+serve_pid=""
+trap 'if [ -n "${serve_pid}" ]; then kill "${serve_pid}" 2>/dev/null || true; fi; rm -rf "${smoke_dir}"' EXIT
+smoke_sock="${smoke_dir}/serve.sock"
+# The batch window holds the first dispatch briefly so the duplicate
+# client pair below lands while its twin is still in flight.
+THERMCTL_FAST=1 "${base}/asan/tools/thermctl_serve" \
+    --socket "${smoke_sock}" --cache-dir "${smoke_dir}/cache" \
+    --jobs 8 --batch-window-ms 300 2>"${smoke_dir}/serve.log" &
+serve_pid=$!
+for _ in $(seq 100); do
+    [ -S "${smoke_sock}" ] && break
+    sleep 0.1
+done
+[ -S "${smoke_sock}" ] || { cat "${smoke_dir}/serve.log"; exit 1; }
+
+smoke_client() {
+    "${base}/asan/tools/thermctl_client" --socket "${smoke_sock}" \
+        --warmup 2000 --cycles 50000 "$@"
+}
+smoke_client --bench 186.crafty --policy PI >"${smoke_dir}/dup1.out" &
+dup1_pid=$!
+smoke_client --bench 186.crafty --policy PI >"${smoke_dir}/dup2.out" &
+dup2_pid=$!
+smoke_client --bench 179.art --policy none >"${smoke_dir}/other.out" &
+other_pid=$!
+wait "${dup1_pid}" "${dup2_pid}" "${other_pid}"
+cmp "${smoke_dir}/dup1.out" "${smoke_dir}/dup2.out"
+
+coalesced="$(smoke_client --stats \
+    | awk '/^coalesced/ {print $NF}')"
+if [ "${coalesced:-0}" -lt 1 ]; then
+    echo "serve smoke: duplicate request pair did not coalesce" >&2
+    exit 1
+fi
+
+# Bit-identity: the served result must match a direct, uncached run.
+"${base}/asan/tools/thermctl_run" --bench 186.crafty --policy PI \
+    --warmup 2000 --cycles 50000 --no-cache >"${smoke_dir}/direct.out"
+cmp "${smoke_dir}/dup1.out" "${smoke_dir}/direct.out"
+
+kill -TERM "${serve_pid}"
+if ! wait "${serve_pid}"; then
+    echo "serve smoke: daemon did not drain cleanly on SIGTERM" >&2
+    cat "${smoke_dir}/serve.log"
+    exit 1
+fi
+serve_pid=""
+[ ! -S "${smoke_sock}" ] || {
+    echo "serve smoke: socket not unlinked on shutdown" >&2; exit 1; }
+cat "${smoke_dir}/serve.log"
+rm -rf "${smoke_dir}"
+trap - EXIT
 
 stage "TSan parallel bench smoke"
 cmake -B "${base}/tsan" -S . "-DTHERMCTL_SANITIZE=thread"

@@ -1,0 +1,232 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace thermctl::serve
+{
+
+ServeClient
+ServeClient::connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("client: socket(AF_UNIX): ", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        fatal("client: socket path too long: ", path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("client: cannot connect to ", path, ": ",
+              std::strerror(err), " (is thermctl_serve running?)");
+    }
+    return ServeClient(fd);
+}
+
+ServeClient
+ServeClient::connectTcp(const std::string &host, int port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string service = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0
+        || !res) {
+        fatal("client: cannot resolve ", host, ":", port);
+    }
+    const int fd = ::socket(res->ai_family, res->ai_socktype,
+                            res->ai_protocol);
+    if (fd < 0) {
+        ::freeaddrinfo(res);
+        fatal("client: socket(AF_INET): ", std::strerror(errno));
+    }
+    const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+    const int err = errno;
+    ::freeaddrinfo(res);
+    if (rc != 0) {
+        ::close(fd);
+        fatal("client: cannot connect to ", host, ":", port, ": ",
+              std::strerror(err), " (is thermctl_serve running?)");
+    }
+    return ServeClient(fd);
+}
+
+ServeClient
+ServeClient::connect(const std::string &endpoint)
+{
+    if (endpoint.rfind("unix:", 0) == 0)
+        return connectUnix(endpoint.substr(5));
+    if (endpoint.rfind("tcp:", 0) == 0) {
+        const std::string rest = endpoint.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos)
+            fatal("client: tcp endpoint needs HOST:PORT, got '",
+                  endpoint, "'");
+        const std::string host = rest.substr(0, colon);
+        int port = 0;
+        try {
+            port = std::stoi(rest.substr(colon + 1));
+        } catch (const std::exception &) {
+            fatal("client: bad tcp port in '", endpoint, "'");
+        }
+        return connectTcp(host, port);
+    }
+    return connectUnix(endpoint);
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+std::pair<MsgType, std::string>
+ServeClient::roundTrip(MsgType type, std::string_view payload)
+{
+    if (fd_ < 0)
+        fatal("client: not connected");
+    if (!writeFrame(fd_, type, payload))
+        fatal("client: send failed (server gone?)");
+    MsgType reply_type;
+    std::string reply;
+    FrameStatus fs = FrameStatus::Ok;
+    switch (readFrame(fd_, reply_type, reply, &fs)) {
+      case ReadStatus::Ok:
+        return {reply_type, std::move(reply)};
+      case ReadStatus::Eof:
+        fatal("client: server closed the connection before replying");
+      case ReadStatus::Transport:
+        fatal("client: transport error reading reply");
+      case ReadStatus::BadFrame:
+        fatal("client: malformed reply frame (",
+              fs == FrameStatus::BadVersion ? "wire version mismatch"
+                                            : "bad header",
+              ")");
+    }
+    fatal("client: unreachable read status");
+}
+
+namespace
+{
+
+/** Map an ErrorReply frame into a typed PointReply failure. */
+PointReply
+errorToPoint(const std::string &payload)
+{
+    ErrorReply err;
+    if (!ErrorReply::decode(payload, err))
+        fatal("client: undecodable ErrorReply from server");
+    PointReply p;
+    p.error = err.code;
+    p.message = err.message;
+    return p;
+}
+
+} // namespace
+
+PointReply
+ServeClient::run(const RunRequest &req)
+{
+    auto [type, payload] = roundTrip(MsgType::RunRequest, req.encode());
+    if (type == MsgType::ErrorReply)
+        return errorToPoint(payload);
+    if (type != MsgType::RunReply)
+        fatal("client: unexpected reply type to RunRequest");
+    RunReply reply;
+    if (!RunReply::decode(payload, reply))
+        fatal("client: undecodable RunReply payload");
+    return reply.point;
+}
+
+SweepReply
+ServeClient::sweep(const SweepRequest &req)
+{
+    auto [type, payload] =
+        roundTrip(MsgType::SweepRequest, req.encode());
+    if (type == MsgType::ErrorReply) {
+        SweepReply reply;
+        reply.points.push_back(errorToPoint(payload));
+        return reply;
+    }
+    if (type != MsgType::SweepReply)
+        fatal("client: unexpected reply type to SweepRequest");
+    SweepReply reply;
+    if (!SweepReply::decode(payload, reply))
+        fatal("client: undecodable SweepReply payload");
+    return reply;
+}
+
+CacheQueryReply
+ServeClient::cacheQuery(const CacheQueryRequest &req)
+{
+    auto [type, payload] =
+        roundTrip(MsgType::CacheQueryRequest, req.encode());
+    if (type == MsgType::ErrorReply) {
+        ErrorReply err;
+        if (!ErrorReply::decode(payload, err))
+            fatal("client: undecodable ErrorReply from server");
+        fatal("client: cache query refused: ", err.message);
+    }
+    if (type != MsgType::CacheQueryReply)
+        fatal("client: unexpected reply type to CacheQueryRequest");
+    CacheQueryReply reply;
+    if (!CacheQueryReply::decode(payload, reply))
+        fatal("client: undecodable CacheQueryReply payload");
+    return reply;
+}
+
+StatsReply
+ServeClient::stats()
+{
+    auto [type, payload] =
+        roundTrip(MsgType::StatsRequest, StatsRequest{}.encode());
+    if (type != MsgType::StatsReply)
+        fatal("client: unexpected reply type to StatsRequest");
+    StatsReply reply;
+    if (!StatsReply::decode(payload, reply))
+        fatal("client: undecodable StatsReply payload");
+    return reply;
+}
+
+bool
+ServeClient::drain()
+{
+    auto [type, payload] =
+        roundTrip(MsgType::DrainRequest, DrainRequest{}.encode());
+    if (type != MsgType::DrainReply)
+        fatal("client: unexpected reply type to DrainRequest");
+    DrainReply reply;
+    if (!DrainReply::decode(payload, reply))
+        fatal("client: undecodable DrainReply payload");
+    return reply.was_draining;
+}
+
+} // namespace thermctl::serve

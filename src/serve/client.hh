@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synchronous client for the thermctl-serve wire protocol.
+ *
+ * A ServeClient owns one connected socket and issues one request at a
+ * time (the protocol is strictly request/reply per connection; open
+ * more clients for concurrency). Transport and framing failures throw
+ * FatalError; server-side failures come back as typed ServeError codes
+ * inside the replies, so callers can distinguish "the server refused
+ * this request" (Overloaded, Draining, BadRequest, ...) from "the
+ * connection broke".
+ */
+
+#ifndef THERMCTL_SERVE_CLIENT_HH
+#define THERMCTL_SERVE_CLIENT_HH
+
+#include <string>
+#include <utility>
+
+#include "serve/protocol.hh"
+
+namespace thermctl::serve
+{
+
+class ServeClient
+{
+  public:
+    /** Connect to a Unix-domain server socket. Fatal on failure. */
+    static ServeClient connectUnix(const std::string &path);
+
+    /** Connect to a TCP server on loopback/hostname. Fatal on failure. */
+    static ServeClient connectTcp(const std::string &host, int port);
+
+    /**
+     * Endpoint syntax: "unix:PATH", "tcp:HOST:PORT", or a bare path
+     * (treated as a Unix socket).
+     */
+    static ServeClient connect(const std::string &endpoint);
+
+    ~ServeClient();
+    ServeClient(ServeClient &&other) noexcept
+        : fd_(std::exchange(other.fd_, -1))
+    {
+    }
+    ServeClient &operator=(ServeClient &&other) noexcept;
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Execute one point on the server. Server-side refusals (overload,
+     * drain, unknown names, deadline) return as PointReply.error.
+     */
+    PointReply run(const RunRequest &req);
+
+    /** Execute a benchmarks x policies grid; replies in grid order. */
+    SweepReply sweep(const SweepRequest &req);
+
+    /** Probe the server's result cache without simulating. */
+    CacheQueryReply cacheQuery(const CacheQueryRequest &req);
+
+    StatsReply stats();
+
+    /**
+     * Request a graceful drain: the server finishes in-flight work,
+     * refuses new requests, and exits.
+     * @return true when the server was already draining.
+     */
+    bool drain();
+
+  private:
+    explicit ServeClient(int fd) : fd_(fd) {}
+
+    /** One request/reply exchange; throws FatalError on transport. */
+    std::pair<MsgType, std::string> roundTrip(MsgType type,
+                                              std::string_view payload);
+
+    int fd_ = -1;
+};
+
+} // namespace thermctl::serve
+
+#endif // THERMCTL_SERVE_CLIENT_HH

@@ -1,0 +1,341 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "sim/policy_factory.hh"
+#include "workload/spec_profiles.hh"
+
+namespace thermctl::serve
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One admitted point from submit() until its promise is fulfilled. */
+struct Scheduler::Pending
+{
+    ResolvedPoint point;
+    Clock::time_point enqueued;
+    Clock::time_point deadline; ///< meaningful only when has_deadline
+    bool has_deadline = false;
+    std::promise<OutcomePtr> promise;
+    std::shared_future<OutcomePtr> future;
+};
+
+ResolvedPoint
+resolvePoint(const PointSpec &spec, const SimConfig &base)
+{
+    ResolvedPoint pt;
+    pt.config = base;
+    pt.config.workload = specProfile(spec.benchmark);
+    if (!parseDtmPolicyKind(spec.policy, pt.config.policy.kind)) {
+        std::string all;
+        for (const auto &n : dtmPolicyNames())
+            all += all.empty() ? n : "|" + n;
+        fatal("unknown policy '", spec.policy, "' (expected one of ",
+              all, ")");
+    }
+    if (spec.ct_setpoint != 0.0) {
+        pt.config.policy.ct_setpoint = spec.ct_setpoint;
+        pt.config.policy.ct_range_low = spec.ct_setpoint - 0.2;
+    }
+    if (spec.sample_interval != 0)
+        pt.config.dtm.sample_interval = spec.sample_interval;
+    pt.proto.warmup_cycles = spec.warmup_cycles;
+    pt.proto.measure_cycles = spec.measure_cycles;
+    pt.key = sweepKey(pt.config.workload.name,
+                      dtmPolicyKindName(pt.config.policy.kind));
+    pt.digest = sweepConfigDigest(pt.config, pt.proto);
+    return pt;
+}
+
+namespace
+{
+
+/**
+ * Batch-grouping digest: everything the full digest covers except the
+ * workload. Points sharing it differ only in workload, so one
+ * SweepSpec (base + workload list) reproduces each of them exactly.
+ */
+std::uint64_t
+groupDigest(const ResolvedPoint &pt)
+{
+    SimConfig neutral = pt.config;
+    neutral.workload = WorkloadProfile{};
+    return sweepConfigDigest(neutral, pt.proto);
+}
+
+/** @return an immediately resolved ticket carrying a typed error. */
+Scheduler::Ticket
+rejectedTicket(ServeError code, std::string message)
+{
+    auto outcome = std::make_shared<Scheduler::Outcome>();
+    outcome->error = code;
+    outcome->message = std::move(message);
+    std::promise<Scheduler::OutcomePtr> promise;
+    promise.set_value(std::move(outcome));
+    Scheduler::Ticket t;
+    t.future = promise.get_future().share();
+    t.rejected = true;
+    return t;
+}
+
+} // namespace
+
+Scheduler::Scheduler(const Options &opts)
+    : opts_(opts), engine_(opts.sweep),
+      latency_hist_ms_(0.0, 60000.0, 6000)
+{
+    const unsigned n = std::max(1u, opts_.dispatchers);
+    dispatchers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    stop();
+}
+
+Scheduler::Ticket
+Scheduler::submit(const ResolvedPoint &point, std::uint64_t deadline_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.submitted++;
+
+    if (draining_ || stopping_)
+        return rejectedTicket(ServeError::Draining,
+                              "server is draining; request refused");
+
+    // Single-flight: identical work already queued or running.
+    if (auto it = inflight_.find(point.digest); it != inflight_.end()) {
+        counters_.coalesced++;
+        Ticket t;
+        t.future = it->second->future;
+        t.coalesced = true;
+        return t;
+    }
+
+    if (queue_.size() >= opts_.max_queue) {
+        counters_.rejected_overload++;
+        return rejectedTicket(
+            ServeError::Overloaded,
+            "request queue full (" + std::to_string(opts_.max_queue)
+                + " points); retry later");
+    }
+
+    auto p = std::make_shared<Pending>();
+    p->point = point;
+    p->enqueued = Clock::now();
+    if (deadline_ms != 0) {
+        p->has_deadline = true;
+        p->deadline =
+            p->enqueued + std::chrono::milliseconds(deadline_ms);
+    }
+    p->future = p->promise.get_future().share();
+
+    queue_.push_back(p);
+    inflight_.emplace(point.digest, p);
+    counters_.queue_high_water =
+        std::max<std::uint64_t>(counters_.queue_high_water,
+                                queue_.size());
+    work_cv_.notify_one();
+
+    Ticket t;
+    t.future = p->future;
+    return t;
+}
+
+void
+Scheduler::pauseDispatch()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void
+Scheduler::resumeDispatch()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+    work_cv_.notify_all();
+}
+
+void
+Scheduler::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    // Drain overrides a test-paused dispatcher: queued work must finish.
+    paused_ = false;
+    work_cv_.notify_all();
+}
+
+void
+Scheduler::awaitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] {
+        return queue_.empty() && dispatching_ == 0 && inflight_.empty();
+    });
+}
+
+void
+Scheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        draining_ = true;
+        paused_ = false;
+        stopping_ = true;
+        work_cv_.notify_all();
+    }
+    for (auto &t : dispatchers_)
+        t.join();
+    dispatchers_.clear();
+}
+
+SchedulerStats
+Scheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SchedulerStats s = counters_;
+    s.queue_depth = queue_.size();
+    s.latency_count = latency_ms_.count();
+    s.latency_mean_ms = latency_ms_.mean();
+    s.latency_p50_ms = latency_hist_ms_.quantile(0.50);
+    s.latency_p90_ms = latency_hist_ms_.quantile(0.90);
+    s.latency_p99_ms = latency_hist_ms_.quantile(0.99);
+    return s;
+}
+
+void
+Scheduler::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [this] {
+            return stopping_ || (!paused_ && !queue_.empty());
+        });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        // Batch window: give concurrent clients a moment to land their
+        // requests so duplicates coalesce and compatible points share
+        // one engine invocation.
+        if (opts_.batch_window_ms > 0 && !stopping_) {
+            const auto until =
+                Clock::now()
+                + std::chrono::milliseconds(opts_.batch_window_ms);
+            work_cv_.wait_until(lock, until,
+                                [this] { return stopping_; });
+        }
+
+        std::vector<std::shared_ptr<Pending>> batch(queue_.begin(),
+                                                    queue_.end());
+        queue_.clear();
+        dispatching_ += batch.size();
+        lock.unlock();
+        runBatch(std::move(batch));
+        lock.lock();
+        idle_cv_.notify_all();
+    }
+}
+
+void
+Scheduler::finish(const std::shared_ptr<Pending> &p, Outcome outcome)
+{
+    outcome.server_ms =
+        std::chrono::duration<double, std::milli>(Clock::now()
+                                                  - p->enqueued)
+            .count();
+    const double ms = outcome.server_ms;
+    const bool ok = outcome.error == ServeError::None;
+    const bool hit = outcome.cache_hit;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Un-register before fulfilling: a digest is coalescible only
+        // while its outcome is still pending.
+        inflight_.erase(p->point.digest);
+        dispatching_--;
+        if (ok) {
+            latency_ms_.add(ms);
+            latency_hist_ms_.add(ms);
+            if (hit)
+                counters_.cache_hits++;
+            else
+                counters_.simulated++;
+        }
+    }
+    p->promise.set_value(
+        std::make_shared<const Outcome>(std::move(outcome)));
+}
+
+void
+Scheduler::runBatch(std::vector<std::shared_ptr<Pending>> batch)
+{
+    // Expired deadlines fail fast without costing a simulation.
+    const auto now = Clock::now();
+    std::vector<std::shared_ptr<Pending>> live;
+    live.reserve(batch.size());
+    for (auto &p : batch) {
+        if (p->has_deadline && now > p->deadline) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                counters_.rejected_deadline++;
+            }
+            Outcome oc;
+            oc.error = ServeError::DeadlineExceeded;
+            oc.message = "deadline expired before dispatch";
+            finish(p, std::move(oc));
+        } else {
+            live.push_back(std::move(p));
+        }
+    }
+
+    // Group points that differ only in workload into shared grids.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < live.size(); ++i)
+        groups[groupDigest(live[i]->point)].push_back(i);
+
+    for (const auto &[digest, members] : groups) {
+        (void)digest;
+        const ResolvedPoint &rep = live[members.front()]->point;
+        SweepSpec spec;
+        spec.protocol(rep.proto).base(rep.config);
+        for (std::size_t i : members)
+            spec.workload(live[i]->point.config.workload);
+
+        try {
+            const SweepResults results = engine_.run(spec);
+            // points() iterates workloads in insertion order with the
+            // single (base) policy, so outcomes align with `members`.
+            const auto &outcomes = results.outcomes();
+            for (std::size_t j = 0; j < members.size(); ++j) {
+                Outcome oc;
+                oc.result = outcomes[j].result;
+                oc.cache_hit = outcomes[j].cache_hit;
+                finish(live[members[j]], std::move(oc));
+            }
+        } catch (const std::exception &e) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                counters_.failed += members.size();
+            }
+            for (std::size_t i : members) {
+                Outcome oc;
+                oc.error = ServeError::Internal;
+                oc.message = e.what();
+                finish(live[i], std::move(oc));
+            }
+        }
+    }
+}
+
+} // namespace thermctl::serve

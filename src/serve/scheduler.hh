@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Request scheduler for thermctl-serve: admission control, single-flight
+ * coalescing, and batched dispatch onto the SweepEngine.
+ *
+ * Every request resolves to a ResolvedPoint whose identity is the sweep
+ * cache digest (sweepConfigDigest): two requests the simulator cannot
+ * distinguish share a digest. The scheduler exploits that three ways:
+ *
+ *  - Single-flight: a request whose digest is already queued or running
+ *    attaches to the existing run's future instead of enqueueing a
+ *    duplicate — N identical concurrent requests cost one simulation.
+ *  - Batching: a dispatcher drains the queue in one sweep, groups
+ *    points that differ only in workload into shared SweepSpec grids,
+ *    and executes each group as one SweepEngine invocation so the
+ *    engine's worker pool parallelizes across the batch.
+ *  - Bounded queue: submit() past `max_queue` undispatched points is
+ *    rejected immediately with Overloaded — the server never queues
+ *    unboundedly and never blocks admission on simulation progress.
+ *
+ * The engine's content-addressed on-disk cache sits under all of this
+ * as a read-through layer, so repeated requests across server restarts
+ * are served without simulation.
+ */
+
+#ifndef THERMCTL_SERVE_SCHEDULER_HH
+#define THERMCTL_SERVE_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "serve/protocol.hh"
+#include "sim/sweep.hh"
+
+namespace thermctl::serve
+{
+
+/**
+ * A fully resolved simulation request: configuration, protocol, and the
+ * content digest that names it.
+ */
+struct ResolvedPoint
+{
+    std::string key; ///< "benchmark/policy", for telemetry
+    SimConfig config;
+    RunProtocol proto;
+    std::uint64_t digest = 0; ///< sweepConfigDigest(config, proto)
+};
+
+/**
+ * Resolve a wire PointSpec against the server's base configuration.
+ * Throws FatalError for unknown benchmark or policy names.
+ */
+ResolvedPoint resolvePoint(const PointSpec &spec, const SimConfig &base);
+
+/** Counter snapshot (see protocol.hh StatsReply for field meanings). */
+struct SchedulerStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t queue_high_water = 0;
+    std::uint64_t latency_count = 0;
+    double latency_mean_ms = 0.0;
+    double latency_p50_ms = 0.0;
+    double latency_p90_ms = 0.0;
+    double latency_p99_ms = 0.0;
+};
+
+/** Admission, batching, and dispatch of resolved points. */
+class Scheduler
+{
+  public:
+    struct Options
+    {
+        /** Engine knobs: worker threads and the read-through cache. */
+        SweepOptions sweep;
+
+        /** Admission bound on undispatched points. */
+        std::size_t max_queue = 256;
+
+        /** Dispatcher threads (each runs one batch at a time). */
+        unsigned dispatchers = 2;
+
+        /**
+         * After the first point of a batch arrives, wait this long for
+         * more points to coalesce/batch before dispatching. 0 keeps
+         * latency minimal; the serve-smoke stage raises it to make
+         * duplicate detection deterministic.
+         */
+        unsigned batch_window_ms = 0;
+    };
+
+    /** Terminal state of one scheduled point. */
+    struct Outcome
+    {
+        ServeError error = ServeError::None;
+        std::string message;
+        RunResult result;
+        bool cache_hit = false;
+        double server_ms = 0.0; ///< submit-to-completion wall time
+    };
+
+    using OutcomePtr = std::shared_ptr<const Outcome>;
+
+    /** Handle returned by submit(); the future is always valid. */
+    struct Ticket
+    {
+        std::shared_future<OutcomePtr> future;
+
+        /** This request attached to an identical in-flight run. */
+        bool coalesced = false;
+
+        /** Admission rejected (future already holds the error). */
+        bool rejected = false;
+    };
+
+    explicit Scheduler(const Options &opts);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Admit one point. Never blocks on simulation progress: returns a
+     * coalesced ticket, a queued ticket, or an immediately rejected
+     * ticket (Overloaded when the queue is full, Draining after
+     * beginDrain()).
+     */
+    Ticket submit(const ResolvedPoint &point, std::uint64_t deadline_ms);
+
+    /**
+     * Hold dispatch (queued points stay queued; running batches finish).
+     * Tests use this to make coalescing and overload deterministic.
+     */
+    void pauseDispatch();
+    void resumeDispatch();
+
+    /** Refuse new submissions; queued and running work continues. */
+    void beginDrain();
+
+    /** Block until no point is queued or running. */
+    void awaitIdle();
+
+    /** Drain, finish everything, and join the dispatchers. */
+    void stop();
+
+    SchedulerStats stats() const;
+
+    const Options &options() const { return opts_; }
+
+  private:
+    struct Pending;
+
+    void dispatchLoop();
+    void runBatch(std::vector<std::shared_ptr<Pending>> batch);
+    void finish(const std::shared_ptr<Pending> &p, Outcome outcome);
+
+    Options opts_;
+    SweepEngine engine_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_; ///< queue became non-empty / state
+    std::condition_variable idle_cv_; ///< queue + in-flight went empty
+    std::deque<std::shared_ptr<Pending>> queue_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> inflight_;
+    std::size_t dispatching_ = 0; ///< points currently in a running batch
+    bool paused_ = false;
+    bool draining_ = false;
+    bool stopping_ = false;
+
+    // Counters (guarded by mutex_).
+    SchedulerStats counters_;
+    Accumulator latency_ms_;
+    Histogram latency_hist_ms_;
+
+    std::vector<std::thread> dispatchers_;
+};
+
+} // namespace thermctl::serve
+
+#endif // THERMCTL_SERVE_SCHEDULER_HH

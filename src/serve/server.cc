@@ -1,0 +1,479 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace thermctl::serve
+{
+
+namespace
+{
+
+/** Poll period of connection threads: drain-notice latency bound. */
+constexpr int kConnPollMs = 100;
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+std::string
+defaultSocketPath()
+{
+    if (const char *env = std::getenv("THERMCTL_SOCKET"))
+        return env;
+    if (const char *dir = std::getenv("XDG_RUNTIME_DIR"))
+        return std::string(dir) + "/thermctl.sock";
+    return "/tmp/thermctl-" + std::to_string(::getuid()) + ".sock";
+}
+
+Server::Server(const ServerOptions &opts)
+    : opts_(opts), sched_(std::make_unique<Scheduler>(opts.sched)),
+      started_(std::chrono::steady_clock::now())
+{
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+void
+Server::start()
+{
+    if (opts_.unix_path.empty() && !opts_.tcp)
+        fatal("serve: no listener configured (unix path empty, tcp off)");
+
+    if (::pipe(wake_pipe_) != 0)
+        fatal("serve: pipe: ", std::strerror(errno));
+
+    if (!opts_.unix_path.empty()) {
+        unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unix_fd_ < 0)
+            fatal("serve: socket(AF_UNIX): ", std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opts_.unix_path.size() >= sizeof(addr.sun_path))
+            fatal("serve: socket path too long: ", opts_.unix_path);
+        std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(opts_.unix_path.c_str()); // remove a stale socket
+        if (::bind(unix_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr))
+            != 0) {
+            fatal("serve: bind(", opts_.unix_path,
+                  "): ", std::strerror(errno));
+        }
+        if (::listen(unix_fd_, opts_.backlog) != 0)
+            fatal("serve: listen: ", std::strerror(errno));
+    }
+
+    if (opts_.tcp) {
+        tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcp_fd_ < 0)
+            fatal("serve: socket(AF_INET): ", std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(opts_.tcp_port));
+        if (::bind(tcp_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr))
+            != 0) {
+            fatal("serve: bind(tcp ", opts_.tcp_port,
+                  "): ", std::strerror(errno));
+        }
+        if (::listen(tcp_fd_, opts_.backlog) != 0)
+            fatal("serve: listen(tcp): ", std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        ::getsockname(tcp_fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len);
+        tcp_port_ = ntohs(bound.sin_port);
+    }
+
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::beginDrain()
+{
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true))
+        return;
+    // Refuse new submissions right away; queued work keeps running.
+    sched_->beginDrain();
+    // Wake the accept poll so it stops accepting promptly.
+    if (wake_pipe_[1] >= 0) {
+        const char b = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+    }
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+}
+
+void
+Server::waitForDrainRequest()
+{
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return draining_.load(); });
+}
+
+void
+Server::shutdown()
+{
+    if (stopped_.exchange(true))
+        return;
+    beginDrain();
+
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    closeFd(unix_fd_);
+    closeFd(tcp_fd_);
+    if (!opts_.unix_path.empty())
+        ::unlink(opts_.unix_path.c_str());
+
+    // Every admitted request finishes and its reply is delivered before
+    // connection threads exit (they observe draining_ between frames).
+    sched_->beginDrain();
+    sched_->awaitIdle();
+
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        threads.swap(conn_threads_);
+    }
+    for (auto &t : threads)
+        t.join();
+
+    sched_->stop();
+    closeFd(wake_pipe_[0]);
+    closeFd(wake_pipe_[1]);
+}
+
+StatsReply
+Server::statsSnapshot() const
+{
+    const SchedulerStats ss = sched_->stats();
+    StatsReply s;
+    s.requests_total = requests_total_.load();
+    s.run_requests = run_requests_.load();
+    s.sweep_requests = sweep_requests_.load();
+    s.cache_queries = cache_queries_.load();
+    s.points_submitted = ss.submitted;
+    s.points_simulated = ss.simulated;
+    s.cache_hits = ss.cache_hits;
+    s.coalesced = ss.coalesced;
+    s.rejected_overload = ss.rejected_overload;
+    s.rejected_deadline = ss.rejected_deadline;
+    s.failed = ss.failed;
+    s.queue_depth = ss.queue_depth;
+    s.queue_high_water = ss.queue_high_water;
+    s.connections_accepted = connections_accepted_.load();
+    s.active_connections = active_connections_.load();
+    s.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - started_)
+            .count();
+    s.latency_count = ss.latency_count;
+    s.latency_mean_ms = ss.latency_mean_ms;
+    s.latency_p50_ms = ss.latency_p50_ms;
+    s.latency_p90_ms = ss.latency_p90_ms;
+    s.latency_p99_ms = ss.latency_p99_ms;
+    return s;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[3];
+        nfds_t n = 0;
+        int unix_slot = -1, tcp_slot = -1;
+        if (unix_fd_ >= 0) {
+            unix_slot = static_cast<int>(n);
+            fds[n++] = {unix_fd_, POLLIN, 0};
+        }
+        if (tcp_fd_ >= 0) {
+            tcp_slot = static_cast<int>(n);
+            fds[n++] = {tcp_fd_, POLLIN, 0};
+        }
+        fds[n++] = {wake_pipe_[0], POLLIN, 0};
+
+        const int rc = ::poll(fds, n, -1);
+        if (draining_.load())
+            return;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll: ", std::strerror(errno));
+            return;
+        }
+
+        reapFinishedConnections();
+
+        for (int slot : {unix_slot, tcp_slot}) {
+            if (slot < 0 || !(fds[slot].revents & POLLIN))
+                continue;
+            const int fd = ::accept(fds[slot].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            // Bound mid-frame reads so a stalled peer cannot wedge a
+            // connection thread (and with it, shutdown) forever.
+            const timeval tv{10, 0};
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+            connections_accepted_++;
+            active_connections_++;
+            std::lock_guard<std::mutex> lock(conn_mutex_);
+            conn_threads_.emplace_back(
+                [this, fd] { serveConnection(fd); });
+        }
+    }
+}
+
+/** Join connection threads that announced completion (bounds growth). */
+void
+Server::reapFinishedConnections()
+{
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (std::thread::id id : finished_conn_ids_) {
+        auto it = std::find_if(conn_threads_.begin(), conn_threads_.end(),
+                               [id](const std::thread &t) {
+                                   return t.get_id() == id;
+                               });
+        if (it != conn_threads_.end()) {
+            it->join();
+            conn_threads_.erase(it);
+        }
+    }
+    finished_conn_ids_.clear();
+}
+
+void
+Server::serveConnection(int fd)
+{
+    for (;;) {
+        // Poll between frames so an idle connection notices a drain
+        // without being force-closed mid-reply.
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, kConnPollMs);
+        if (draining_.load())
+            break;
+        if (rc < 0 && errno != EINTR)
+            break;
+        if (rc <= 0)
+            continue;
+
+        MsgType type;
+        std::string payload;
+        FrameStatus fs = FrameStatus::Ok;
+        const ReadStatus rs = readFrame(fd, type, payload, &fs);
+        if (rs == ReadStatus::Eof || rs == ReadStatus::Transport)
+            break;
+        if (rs == ReadStatus::BadFrame) {
+            ErrorReply err;
+            err.code = fs == FrameStatus::BadVersion
+                           ? ServeError::VersionMismatch
+                           : ServeError::BadRequest;
+            err.message =
+                fs == FrameStatus::BadVersion
+                    ? "unsupported wire version (server speaks v"
+                          + std::to_string(kWireVersion) + ")"
+                    : "malformed frame header";
+            writeFrame(fd, MsgType::ErrorReply, err.encode());
+            break; // framing is unrecoverable: close
+        }
+        handleFrame(fd, type, payload);
+    }
+    ::close(fd);
+    active_connections_--;
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    finished_conn_ids_.push_back(std::this_thread::get_id());
+}
+
+PointReply
+Server::awaitTicket(Scheduler::Ticket ticket)
+{
+    const Scheduler::OutcomePtr oc = ticket.future.get();
+    PointReply p;
+    p.error = oc->error;
+    p.message = oc->message;
+    if (oc->error == ServeError::None)
+        p.result = oc->result;
+    p.cache_hit = oc->cache_hit;
+    p.coalesced = ticket.coalesced;
+    p.server_ms = oc->server_ms;
+    return p;
+}
+
+void
+Server::handleFrame(int fd, MsgType type, const std::string &payload)
+{
+    requests_total_++;
+
+    auto badRequest = [&](const std::string &msg) {
+        ErrorReply err;
+        err.code = ServeError::BadRequest;
+        err.message = msg;
+        writeFrame(fd, MsgType::ErrorReply, err.encode());
+    };
+
+    switch (type) {
+      case MsgType::RunRequest: {
+        run_requests_++;
+        RunRequest req;
+        if (!RunRequest::decode(payload, req)) {
+            badRequest("undecodable RunRequest payload");
+            return;
+        }
+        RunReply reply;
+        try {
+            const ResolvedPoint pt = resolvePoint(req.point, opts_.base);
+            reply.point =
+                awaitTicket(sched_->submit(pt, req.deadline_ms));
+        } catch (const FatalError &e) {
+            reply.point.error = ServeError::BadRequest;
+            reply.point.message = e.what();
+        }
+        writeFrame(fd, MsgType::RunReply, reply.encode());
+        return;
+      }
+
+      case MsgType::SweepRequest: {
+        sweep_requests_++;
+        SweepRequest req;
+        if (!SweepRequest::decode(payload, req) || req.benchmarks.empty()
+            || req.policies.empty()) {
+            badRequest("undecodable or empty SweepRequest payload");
+            return;
+        }
+        // Submit the whole grid before waiting on any point so the
+        // scheduler can batch compatible points and coalesce
+        // duplicates across the grid.
+        struct Slot
+        {
+            bool resolved = false;
+            Scheduler::Ticket ticket;
+            std::string error;
+        };
+        std::vector<Slot> slots;
+        slots.reserve(req.benchmarks.size() * req.policies.size());
+        for (const auto &bench : req.benchmarks) {
+            for (const auto &policy : req.policies) {
+                PointSpec spec;
+                spec.benchmark = bench;
+                spec.policy = policy;
+                spec.warmup_cycles = req.warmup_cycles;
+                spec.measure_cycles = req.measure_cycles;
+                spec.ct_setpoint = req.ct_setpoint;
+                spec.sample_interval = req.sample_interval;
+                Slot slot;
+                try {
+                    const ResolvedPoint pt =
+                        resolvePoint(spec, opts_.base);
+                    slot.ticket =
+                        sched_->submit(pt, req.deadline_ms);
+                    slot.resolved = true;
+                } catch (const FatalError &e) {
+                    slot.error = e.what();
+                }
+                slots.push_back(std::move(slot));
+            }
+        }
+        SweepReply reply;
+        reply.points.reserve(slots.size());
+        for (auto &slot : slots) {
+            if (slot.resolved) {
+                reply.points.push_back(
+                    awaitTicket(std::move(slot.ticket)));
+            } else {
+                PointReply p;
+                p.error = ServeError::BadRequest;
+                p.message = slot.error;
+                reply.points.push_back(std::move(p));
+            }
+        }
+        writeFrame(fd, MsgType::SweepReply, reply.encode());
+        return;
+      }
+
+      case MsgType::CacheQueryRequest: {
+        cache_queries_++;
+        CacheQueryRequest req;
+        if (!CacheQueryRequest::decode(payload, req)) {
+            badRequest("undecodable CacheQueryRequest payload");
+            return;
+        }
+        CacheQueryReply reply;
+        try {
+            const ResolvedPoint pt = resolvePoint(req.point, opts_.base);
+            reply.digest = pt.digest;
+            if (opts_.sched.sweep.use_cache) {
+                const std::string dir =
+                    opts_.sched.sweep.cache_dir.empty()
+                        ? SweepEngine::defaultCacheDir()
+                        : opts_.sched.sweep.cache_dir;
+                RunResult ignored;
+                reply.cached =
+                    sweepCacheLookup(dir, pt.digest, ignored);
+            }
+        } catch (const FatalError &e) {
+            badRequest(e.what());
+            return;
+        }
+        writeFrame(fd, MsgType::CacheQueryReply, reply.encode());
+        return;
+      }
+
+      case MsgType::StatsRequest: {
+        StatsRequest req;
+        if (!StatsRequest::decode(payload, req)) {
+            badRequest("undecodable StatsRequest payload");
+            return;
+        }
+        writeFrame(fd, MsgType::StatsReply, statsSnapshot().encode());
+        return;
+      }
+
+      case MsgType::DrainRequest: {
+        DrainRequest req;
+        if (!DrainRequest::decode(payload, req)) {
+            badRequest("undecodable DrainRequest payload");
+            return;
+        }
+        DrainReply reply;
+        reply.was_draining = drainRequested();
+        // Reply first: beginDrain() makes this connection close after
+        // the current frame.
+        writeFrame(fd, MsgType::DrainReply, reply.encode());
+        beginDrain();
+        return;
+      }
+
+      default:
+        badRequest("unexpected message type on a server socket");
+        return;
+    }
+}
+
+} // namespace thermctl::serve

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * thermctl-serve socket server: accepts framed requests on a Unix-domain
+ * socket (TCP on loopback opt-in), resolves them against the server's
+ * base configuration, and answers from the Scheduler.
+ *
+ * Threading model: one accept thread multiplexing the listeners with
+ * poll(), one thread per connection reading frames, and the Scheduler's
+ * dispatcher threads underneath. Connection threads block on scheduler
+ * futures, never on each other.
+ *
+ * Overload behaviour: admission control lives in the Scheduler — a full
+ * queue answers Overloaded immediately. The server adds graceful drain:
+ * after beginDrain() (SIGTERM in the daemon, or a client DrainRequest),
+ * new connections and new requests are refused with a typed Draining
+ * error while every already-admitted request completes and its reply is
+ * delivered before the server exits.
+ */
+
+#ifndef THERMCTL_SERVE_SERVER_HH
+#define THERMCTL_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/scheduler.hh"
+#include "sim/config.hh"
+
+namespace thermctl::serve
+{
+
+struct ServerOptions
+{
+    /** Unix-domain listener path; empty disables it. */
+    std::string unix_path;
+
+    /** Listen on TCP loopback too (opt-in). */
+    bool tcp = false;
+
+    /** TCP port; 0 picks an ephemeral port (see Server::tcpPort). */
+    int tcp_port = 0;
+
+    /** Base configuration every request resolves against. */
+    SimConfig base;
+
+    Scheduler::Options sched;
+
+    int backlog = 16;
+};
+
+/** @return the default Unix socket path ($XDG_RUNTIME_DIR or /tmp). */
+std::string defaultSocketPath();
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind listeners and start serving. Fatal on bind errors. */
+    void start();
+
+    /** @return bound TCP port (after start()), or -1 when TCP is off. */
+    int tcpPort() const { return tcp_port_; }
+
+    /**
+     * Stop accepting connections and refuse new requests; in-flight
+     * requests run to completion and their replies are delivered.
+     * Idempotent and callable from any thread.
+     */
+    void beginDrain();
+
+    /** @return true once beginDrain() happened (signal or client). */
+    bool drainRequested() const { return draining_.load(); }
+
+    /** Block until a drain is requested (daemon main loop). */
+    void waitForDrainRequest();
+
+    /** Finish the drain: complete work, close connections, join. */
+    void shutdown();
+
+    /** Full counters snapshot (scheduler + connection counters). */
+    StatsReply statsSnapshot() const;
+
+    /** Scheduler access for tests (pauseDispatch / resumeDispatch). */
+    Scheduler &scheduler() { return *sched_; }
+
+    const ServerOptions &options() const { return opts_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void handleFrame(int fd, MsgType type, const std::string &payload);
+    PointReply awaitTicket(Scheduler::Ticket ticket);
+    void reapFinishedConnections();
+
+    ServerOptions opts_;
+    std::unique_ptr<Scheduler> sched_;
+
+    int unix_fd_ = -1;
+    int tcp_fd_ = -1;
+    int tcp_port_ = -1;
+    int wake_pipe_[2] = {-1, -1}; ///< unblocks the accept poll()
+
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopped_{false};
+    std::mutex drain_mutex_;
+    std::condition_variable drain_cv_;
+
+    std::thread accept_thread_;
+    std::mutex conn_mutex_;
+    std::vector<std::thread> conn_threads_;
+    std::vector<std::thread::id> finished_conn_ids_;
+
+    // Connection/request counters (atomics: touched from many threads).
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> active_connections_{0};
+    std::atomic<std::uint64_t> requests_total_{0};
+    std::atomic<std::uint64_t> run_requests_{0};
+    std::atomic<std::uint64_t> sweep_requests_{0};
+    std::atomic<std::uint64_t> cache_queries_{0};
+    std::chrono::steady_clock::time_point started_;
+};
+
+} // namespace thermctl::serve
+
+#endif // THERMCTL_SERVE_SERVER_HH

@@ -1,6 +1,7 @@
 #include "sim/policy_factory.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "common/logging.hh"
 
@@ -24,6 +25,43 @@ dtmPolicyKindName(DtmPolicyKind kind)
       case DtmPolicyKind::Hierarchical: return "PID+vf";
       default: return "?";
     }
+}
+
+namespace
+{
+
+/** The kinds a user can name on the CLI or over the wire. */
+constexpr std::array<DtmPolicyKind, 11> kNamedPolicies = {
+    DtmPolicyKind::None,        DtmPolicyKind::Toggle1,
+    DtmPolicyKind::Toggle2,     DtmPolicyKind::Manual,
+    DtmPolicyKind::P,           DtmPolicyKind::PI,
+    DtmPolicyKind::PID,         DtmPolicyKind::Throttle,
+    DtmPolicyKind::SpecControl, DtmPolicyKind::VfScale,
+    DtmPolicyKind::Hierarchical,
+};
+
+} // namespace
+
+std::vector<std::string>
+dtmPolicyNames()
+{
+    std::vector<std::string> names;
+    names.reserve(kNamedPolicies.size());
+    for (DtmPolicyKind kind : kNamedPolicies)
+        names.emplace_back(dtmPolicyKindName(kind));
+    return names;
+}
+
+bool
+parseDtmPolicyKind(const std::string &name, DtmPolicyKind &out)
+{
+    for (DtmPolicyKind kind : kNamedPolicies) {
+        if (name == dtmPolicyKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 FopdtPlant

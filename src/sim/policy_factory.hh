@@ -11,6 +11,8 @@
 #define THERMCTL_SIM_POLICY_FACTORY_HH
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "control/plant.hh"
 #include "dtm/policy.hh"
@@ -20,6 +22,15 @@
 
 namespace thermctl
 {
+
+/** Every policy name accepted by parseDtmPolicyKind (CLI/wire set). */
+std::vector<std::string> dtmPolicyNames();
+
+/**
+ * Inverse of dtmPolicyKindName for the user-selectable policies.
+ * @return false when `name` is not a known policy name.
+ */
+bool parseDtmPolicyKind(const std::string &name, DtmPolicyKind &out);
 
 /**
  * Derive the FOPDT plant seen by the DTM controller.

@@ -27,10 +27,10 @@ namespace
  * field (new microarchitectural detail, changed constants, fixed bug):
  * stale entries then miss instead of serving wrong results.
  */
-constexpr std::string_view kSweepCacheSalt = "thermctl-sweep-v1";
+constexpr std::string_view kSweepCacheSalt = "thermctl-sweep-v2";
 
-/** Cache entry magic ("ThermCtl Run, format 1"). */
-constexpr std::string_view kCacheMagic = "TCRUN001";
+/** Cache entry magic ("ThermCtl Run, format 2"). */
+constexpr std::string_view kCacheMagic = "TCRUN002";
 
 // The digest must cover every configuration field: a field the hash
 // misses is a field whose change silently serves stale cached results.
@@ -204,7 +204,9 @@ loadCacheEntry(const std::filesystem::path &path, std::uint64_t digest,
     if (r.u64() != digest || !r.ok())
         return false;
     return deserializeRunResult(
-        std::string_view(data).substr(kCacheMagic.size() + 8), result);
+               std::string_view(data).substr(kCacheMagic.size() + 8),
+               result)
+           == RunResultDecodeStatus::Ok;
 }
 
 void
@@ -606,6 +608,7 @@ std::string
 serializeRunResult(const RunResult &result)
 {
     ByteWriter w;
+    w.u8(kRunResultFormatVersion);
     w.str(result.benchmark);
     w.str(result.policy);
     w.u8(static_cast<std::uint8_t>(result.category));
@@ -624,18 +627,30 @@ serializeRunResult(const RunResult &result)
         w.f64(s.stress_fraction);
         w.f64(s.avg_power);
     }
+    w.u64(hashString(w.buffer()));
     return w.take();
 }
 
-bool
+RunResultDecodeStatus
 deserializeRunResult(std::string_view buffer, RunResult &out)
 {
-    ByteReader r(buffer);
+    // Verify the trailing checksum before decoding any field: a flipped
+    // bit anywhere yields Malformed, never a plausible wrong result.
+    if (buffer.size() < 1 + 8)
+        return RunResultDecodeStatus::Malformed;
+    const std::string_view body = buffer.substr(0, buffer.size() - 8);
+    ByteReader check(buffer.substr(buffer.size() - 8));
+    if (check.u64() != hashString(body))
+        return RunResultDecodeStatus::Malformed;
+    ByteReader r(body);
+    if (r.u8() != kRunResultFormatVersion)
+        return r.ok() ? RunResultDecodeStatus::BadVersion
+                      : RunResultDecodeStatus::Malformed;
     out.benchmark = r.str();
     out.policy = r.str();
     const std::uint8_t category = r.u8();
     if (category > static_cast<std::uint8_t>(ThermalCategory::Low))
-        return false;
+        return RunResultDecodeStatus::Malformed;
     out.category = static_cast<ThermalCategory>(category);
     out.ipc = r.f64();
     out.raw_ipc = r.f64();
@@ -645,7 +660,7 @@ deserializeRunResult(std::string_view buffer, RunResult &out)
     out.max_temperature = r.f64();
     out.mean_duty = r.f64();
     if (r.u64() != out.structures.size())
-        return false;
+        return RunResultDecodeStatus::Malformed;
     for (auto &s : out.structures) {
         s.avg_temp = r.f64();
         s.max_temp = r.f64();
@@ -653,7 +668,17 @@ deserializeRunResult(std::string_view buffer, RunResult &out)
         s.stress_fraction = r.f64();
         s.avg_power = r.f64();
     }
-    return r.atEnd();
+    return r.atEnd() ? RunResultDecodeStatus::Ok
+                     : RunResultDecodeStatus::Malformed;
+}
+
+bool
+sweepCacheLookup(const std::string &cache_dir, std::uint64_t digest,
+                 RunResult &out)
+{
+    const std::filesystem::path entry =
+        std::filesystem::path(cache_dir) / (hashHex(digest) + ".run");
+    return loadCacheEntry(entry, digest, out);
 }
 
 } // namespace thermctl

@@ -243,14 +243,43 @@ class SweepEngine
 std::uint64_t sweepConfigDigest(const SimConfig &cfg,
                                 const RunProtocol &proto);
 
-/** Exact binary serialization of a RunResult (cache payload format). */
+/**
+ * Format version written as the first byte of serializeRunResult().
+ * Bump on any layout change so old payloads (cache entries, wire
+ * frames) are rejected with BadVersion instead of mis-decoded.
+ */
+inline constexpr std::uint8_t kRunResultFormatVersion = 2;
+
+/** Typed decode outcome: old/foreign payloads fail loudly, not quietly. */
+enum class RunResultDecodeStatus
+{
+    Ok,
+    BadVersion, ///< leading version byte != kRunResultFormatVersion
+    Malformed,  ///< truncated, trailing bytes, or checksum mismatch
+};
+
+/**
+ * Exact binary serialization of a RunResult (cache payload and wire
+ * format): a format-version byte, the field payload, and a trailing
+ * FNV-1a checksum over everything before it, so bit corruption anywhere
+ * in the buffer is detected rather than decoded into plausible garbage.
+ */
 std::string serializeRunResult(const RunResult &result);
 
 /**
  * Inverse of serializeRunResult.
- * @return false (leaving `out` unspecified) on any malformed input.
+ * `out` is unspecified on any status other than Ok.
  */
-bool deserializeRunResult(std::string_view buffer, RunResult &out);
+RunResultDecodeStatus deserializeRunResult(std::string_view buffer,
+                                           RunResult &out);
+
+/**
+ * Probe the on-disk result cache for a digest, validating the entry
+ * (magic, stored digest, payload version + checksum).
+ * @return true and fill `out` only for a fully valid entry.
+ */
+bool sweepCacheLookup(const std::string &cache_dir, std::uint64_t digest,
+                      RunResult &out);
 
 } // namespace thermctl
 

@@ -1,0 +1,773 @@
+/**
+ * @file
+ * thermctl-serve tests: wire protocol round-trips and rejection paths,
+ * scheduler admission/coalescing/deadline semantics, and socket-level
+ * end-to-end runs checked bit-identical against direct
+ * ExperimentRunner executions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+#include "sim/experiment.hh"
+#include "sim/policy_factory.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+using namespace thermctl::serve;
+
+namespace
+{
+
+RunResult
+sampleResult(const std::string &bench, const std::string &policy)
+{
+    RunResult r;
+    r.benchmark = bench;
+    r.policy = policy;
+    r.category = ThermalCategory::High;
+    r.ipc = 1.25;
+    r.raw_ipc = 1.5;
+    r.avg_power = 34.5;
+    r.emergency_fraction = 0.125;
+    r.stress_fraction = 0.5;
+    r.max_temperature = 112.75;
+    r.mean_duty = 0.875;
+    for (std::size_t i = 0; i < r.structures.size(); ++i) {
+        r.structures[i].avg_temp = 80.0 + double(i);
+        r.structures[i].max_temp = 90.0 + double(i);
+        r.structures[i].emergency_fraction = 0.01 * double(i);
+        r.structures[i].stress_fraction = 0.02 * double(i);
+        r.structures[i].avg_power = 1.0 + 0.5 * double(i);
+    }
+    return r;
+}
+
+PointSpec
+fastPoint(const std::string &bench = "186.crafty",
+          const std::string &policy = "none")
+{
+    PointSpec p;
+    p.benchmark = bench;
+    p.policy = policy;
+    p.warmup_cycles = 1000;
+    p.measure_cycles = 10000;
+    return p;
+}
+
+/** Poll `pred` for up to `ms` milliseconds. */
+bool
+waitFor(const std::function<bool()> &pred, int ms = 5000)
+{
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+}
+
+/** Unique short Unix socket path (sun_path is tiny). */
+std::string
+testSocketPath(int idx)
+{
+    return "/tmp/tserve-" + std::to_string(::getpid()) + "-"
+           + std::to_string(idx) + ".sock";
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.raw_ipc, b.raw_ipc);
+    EXPECT_EQ(a.avg_power, b.avg_power);
+    EXPECT_EQ(a.emergency_fraction, b.emergency_fraction);
+    EXPECT_EQ(a.stress_fraction, b.stress_fraction);
+    EXPECT_EQ(a.max_temperature, b.max_temperature);
+    EXPECT_EQ(a.mean_duty, b.mean_duty);
+    for (std::size_t i = 0; i < a.structures.size(); ++i) {
+        EXPECT_EQ(a.structures[i].avg_temp, b.structures[i].avg_temp);
+        EXPECT_EQ(a.structures[i].max_temp, b.structures[i].max_temp);
+        EXPECT_EQ(a.structures[i].avg_power, b.structures[i].avg_power);
+    }
+}
+
+} // namespace
+
+// ----------------------------------------------------------- framing
+
+TEST(ServeProtocol, FrameRoundTrips)
+{
+    const std::string frame = encodeFrame(MsgType::RunRequest, "payload");
+    ASSERT_GE(frame.size(), kFrameHeaderBytes);
+    FrameHeader hdr;
+    ASSERT_EQ(decodeFrameHeader(
+                  std::string_view(frame).substr(0, kFrameHeaderBytes),
+                  hdr),
+              FrameStatus::Ok);
+    EXPECT_EQ(hdr.version, kWireVersion);
+    EXPECT_EQ(hdr.type, MsgType::RunRequest);
+    EXPECT_EQ(hdr.payload_len, 7u);
+    EXPECT_EQ(frame.substr(kFrameHeaderBytes), "payload");
+}
+
+TEST(ServeProtocol, FrameHeaderRejectsCorruption)
+{
+    std::string frame = encodeFrame(MsgType::StatsRequest, "");
+    FrameHeader hdr;
+
+    std::string bad_magic = frame;
+    bad_magic[0] = 'X';
+    EXPECT_EQ(decodeFrameHeader(
+                  std::string_view(bad_magic).substr(0, kFrameHeaderBytes),
+                  hdr),
+              FrameStatus::BadMagic);
+
+    std::string bad_version = frame;
+    bad_version[4] = char(kWireVersion + 7);
+    EXPECT_EQ(decodeFrameHeader(std::string_view(bad_version)
+                                    .substr(0, kFrameHeaderBytes),
+                                hdr),
+              FrameStatus::BadVersion);
+    EXPECT_EQ(hdr.version, kWireVersion + 7);
+
+    std::string bad_type = frame;
+    bad_type[5] = char(200);
+    EXPECT_EQ(decodeFrameHeader(
+                  std::string_view(bad_type).substr(0, kFrameHeaderBytes),
+                  hdr),
+              FrameStatus::BadType);
+
+    std::string bad_len = frame;
+    for (int i = 6; i < 10; ++i)
+        bad_len[i] = char(0xff);
+    EXPECT_EQ(decodeFrameHeader(
+                  std::string_view(bad_len).substr(0, kFrameHeaderBytes),
+                  hdr),
+              FrameStatus::BadLength);
+}
+
+TEST(ServeProtocol, MsgTypeValidation)
+{
+    EXPECT_TRUE(msgTypeValid(std::uint8_t(MsgType::RunRequest)));
+    EXPECT_TRUE(msgTypeValid(std::uint8_t(MsgType::ErrorReply)));
+    EXPECT_FALSE(msgTypeValid(0));
+    EXPECT_FALSE(msgTypeValid(42));
+    EXPECT_FALSE(msgTypeValid(255));
+}
+
+// ------------------------------------------------- payload round-trips
+
+TEST(ServeProtocol, RunRequestRoundTrips)
+{
+    RunRequest in;
+    in.point.benchmark = "179.art";
+    in.point.policy = "PI";
+    in.point.warmup_cycles = 123;
+    in.point.measure_cycles = 456789;
+    in.point.ct_setpoint = 110.5;
+    in.point.sample_interval = 2500;
+    in.deadline_ms = 4000;
+
+    RunRequest out;
+    ASSERT_TRUE(RunRequest::decode(in.encode(), out));
+    EXPECT_EQ(out.point.benchmark, in.point.benchmark);
+    EXPECT_EQ(out.point.policy, in.point.policy);
+    EXPECT_EQ(out.point.warmup_cycles, in.point.warmup_cycles);
+    EXPECT_EQ(out.point.measure_cycles, in.point.measure_cycles);
+    EXPECT_EQ(out.point.ct_setpoint, in.point.ct_setpoint);
+    EXPECT_EQ(out.point.sample_interval, in.point.sample_interval);
+    EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+}
+
+TEST(ServeProtocol, SweepRequestRoundTrips)
+{
+    SweepRequest in;
+    in.benchmarks = {"186.crafty", "179.art", "164.gzip"};
+    in.policies = {"none", "PID"};
+    in.warmup_cycles = 11;
+    in.measure_cycles = 22;
+    in.ct_setpoint = 109.0;
+    in.sample_interval = 500;
+    in.deadline_ms = 9;
+
+    SweepRequest out;
+    ASSERT_TRUE(SweepRequest::decode(in.encode(), out));
+    EXPECT_EQ(out.benchmarks, in.benchmarks);
+    EXPECT_EQ(out.policies, in.policies);
+    EXPECT_EQ(out.warmup_cycles, in.warmup_cycles);
+    EXPECT_EQ(out.measure_cycles, in.measure_cycles);
+    EXPECT_EQ(out.ct_setpoint, in.ct_setpoint);
+    EXPECT_EQ(out.sample_interval, in.sample_interval);
+    EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+}
+
+TEST(ServeProtocol, CacheStatsDrainRequestsRoundTrip)
+{
+    CacheQueryRequest cq;
+    cq.point = fastPoint("300.twolf", "throttle");
+    CacheQueryRequest cq_out;
+    ASSERT_TRUE(CacheQueryRequest::decode(cq.encode(), cq_out));
+    EXPECT_EQ(cq_out.point.benchmark, "300.twolf");
+    EXPECT_EQ(cq_out.point.policy, "throttle");
+
+    StatsRequest st_out;
+    EXPECT_TRUE(StatsRequest::decode(StatsRequest{}.encode(), st_out));
+    DrainRequest dr_out;
+    EXPECT_TRUE(DrainRequest::decode(DrainRequest{}.encode(), dr_out));
+}
+
+TEST(ServeProtocol, RunReplyRoundTripsResultExactly)
+{
+    RunReply in;
+    in.point.result = sampleResult("183.equake", "PID");
+    in.point.cache_hit = true;
+    in.point.coalesced = true;
+    in.point.server_ms = 12.5;
+
+    RunReply out;
+    ASSERT_TRUE(RunReply::decode(in.encode(), out));
+    EXPECT_EQ(out.point.error, ServeError::None);
+    EXPECT_TRUE(out.point.cache_hit);
+    EXPECT_TRUE(out.point.coalesced);
+    EXPECT_EQ(out.point.server_ms, 12.5);
+    expectSameResult(out.point.result, in.point.result);
+}
+
+TEST(ServeProtocol, SweepReplyCarriesMixedOutcomes)
+{
+    SweepReply in;
+    PointReply ok;
+    ok.result = sampleResult("186.crafty", "none");
+    in.points.push_back(ok);
+    PointReply err;
+    err.error = ServeError::Overloaded;
+    err.message = "queue full";
+    in.points.push_back(err);
+
+    SweepReply out;
+    ASSERT_TRUE(SweepReply::decode(in.encode(), out));
+    ASSERT_EQ(out.points.size(), 2u);
+    EXPECT_EQ(out.points[0].error, ServeError::None);
+    expectSameResult(out.points[0].result, ok.result);
+    EXPECT_EQ(out.points[1].error, ServeError::Overloaded);
+    EXPECT_EQ(out.points[1].message, "queue full");
+}
+
+TEST(ServeProtocol, StatsCacheDrainErrorRepliesRoundTrip)
+{
+    StatsReply st;
+    st.requests_total = 1;
+    st.run_requests = 2;
+    st.sweep_requests = 3;
+    st.cache_queries = 4;
+    st.points_submitted = 5;
+    st.points_simulated = 6;
+    st.cache_hits = 7;
+    st.coalesced = 8;
+    st.rejected_overload = 9;
+    st.rejected_deadline = 10;
+    st.failed = 11;
+    st.queue_depth = 12;
+    st.queue_high_water = 13;
+    st.connections_accepted = 14;
+    st.active_connections = 15;
+    st.uptime_seconds = 16.5;
+    st.latency_count = 17;
+    st.latency_mean_ms = 18.5;
+    st.latency_p50_ms = 19.5;
+    st.latency_p90_ms = 20.5;
+    st.latency_p99_ms = 21.5;
+    StatsReply st_out;
+    ASSERT_TRUE(StatsReply::decode(st.encode(), st_out));
+    EXPECT_EQ(st_out.requests_total, 1u);
+    EXPECT_EQ(st_out.coalesced, 8u);
+    EXPECT_EQ(st_out.queue_high_water, 13u);
+    EXPECT_EQ(st_out.uptime_seconds, 16.5);
+    EXPECT_EQ(st_out.latency_p99_ms, 21.5);
+
+    CacheQueryReply cq;
+    cq.cached = true;
+    cq.digest = 0xdeadbeefcafef00dULL;
+    CacheQueryReply cq_out;
+    ASSERT_TRUE(CacheQueryReply::decode(cq.encode(), cq_out));
+    EXPECT_TRUE(cq_out.cached);
+    EXPECT_EQ(cq_out.digest, cq.digest);
+
+    DrainReply dr;
+    dr.was_draining = true;
+    DrainReply dr_out;
+    ASSERT_TRUE(DrainReply::decode(dr.encode(), dr_out));
+    EXPECT_TRUE(dr_out.was_draining);
+
+    ErrorReply er;
+    er.code = ServeError::VersionMismatch;
+    er.message = "speak v1";
+    ErrorReply er_out;
+    ASSERT_TRUE(ErrorReply::decode(er.encode(), er_out));
+    EXPECT_EQ(er_out.code, ServeError::VersionMismatch);
+    EXPECT_EQ(er_out.message, "speak v1");
+}
+
+TEST(ServeProtocol, DecodersRejectEveryTruncation)
+{
+    RunRequest rr;
+    rr.point = fastPoint("179.art", "PI");
+    const std::string run_bytes = rr.encode();
+    for (std::size_t n = 0; n < run_bytes.size(); ++n) {
+        RunRequest out;
+        EXPECT_FALSE(
+            RunRequest::decode(run_bytes.substr(0, n), out))
+            << "accepted truncated RunRequest of " << n << " bytes";
+    }
+
+    RunReply reply;
+    reply.point.result = sampleResult("186.crafty", "none");
+    const std::string reply_bytes = reply.encode();
+    for (std::size_t n = 0; n < reply_bytes.size(); ++n) {
+        RunReply out;
+        EXPECT_FALSE(RunReply::decode(reply_bytes.substr(0, n), out))
+            << "accepted truncated RunReply of " << n << " bytes";
+    }
+}
+
+// ----------------------------------------------------------- scheduler
+
+namespace
+{
+
+Scheduler::Options
+fastSchedOptions()
+{
+    Scheduler::Options o;
+    o.sweep.use_cache = false;
+    o.sweep.jobs = 4;
+    o.dispatchers = 1;
+    return o;
+}
+
+} // namespace
+
+TEST(ServeScheduler, ResolvePointNamesDigest)
+{
+    const SimConfig base;
+    const ResolvedPoint a = resolvePoint(fastPoint(), base);
+    const ResolvedPoint b = resolvePoint(fastPoint(), base);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.key, "186.crafty/none");
+
+    const ResolvedPoint other_bench =
+        resolvePoint(fastPoint("179.art"), base);
+    EXPECT_NE(other_bench.digest, a.digest);
+
+    PointSpec tuned = fastPoint();
+    tuned.ct_setpoint = 108.0;
+    EXPECT_NE(resolvePoint(tuned, base).digest, a.digest);
+
+    EXPECT_THROW(resolvePoint(fastPoint("186.crafty", "nope"), base),
+                 FatalError);
+    EXPECT_THROW(resolvePoint(fastPoint("999.missing"), base),
+                 FatalError);
+}
+
+TEST(ServeScheduler, CoalescesIdenticalInflightRequests)
+{
+    Scheduler sched(fastSchedOptions());
+    const ResolvedPoint pt = resolvePoint(fastPoint(), SimConfig{});
+
+    sched.pauseDispatch();
+    Scheduler::Ticket first = sched.submit(pt, 0);
+    EXPECT_FALSE(first.coalesced);
+    EXPECT_FALSE(first.rejected);
+
+    std::vector<Scheduler::Ticket> dups;
+    for (int i = 0; i < 3; ++i)
+        dups.push_back(sched.submit(pt, 0));
+    for (const auto &t : dups) {
+        EXPECT_TRUE(t.coalesced);
+        EXPECT_FALSE(t.rejected);
+    }
+    sched.resumeDispatch();
+
+    const Scheduler::OutcomePtr base = first.future.get();
+    ASSERT_TRUE(base);
+    EXPECT_EQ(base->error, ServeError::None);
+    EXPECT_EQ(base->result.benchmark, "186.crafty");
+    for (auto &t : dups)
+        EXPECT_EQ(t.future.get(), base); // same shared outcome object
+
+    sched.awaitIdle();
+    const SchedulerStats s = sched.stats();
+    EXPECT_EQ(s.submitted, 4u);
+    EXPECT_EQ(s.coalesced, 3u);
+    EXPECT_EQ(s.simulated, 1u); // fewer simulations than requests
+}
+
+TEST(ServeScheduler, FullQueueRejectsWithOverloaded)
+{
+    Scheduler::Options opts = fastSchedOptions();
+    opts.max_queue = 2;
+    Scheduler sched(opts);
+
+    sched.pauseDispatch();
+    Scheduler::Ticket a =
+        sched.submit(resolvePoint(fastPoint("186.crafty"), {}), 0);
+    Scheduler::Ticket b =
+        sched.submit(resolvePoint(fastPoint("179.art"), {}), 0);
+    EXPECT_FALSE(a.rejected);
+    EXPECT_FALSE(b.rejected);
+
+    Scheduler::Ticket c =
+        sched.submit(resolvePoint(fastPoint("164.gzip"), {}), 0);
+    EXPECT_TRUE(c.rejected);
+    const Scheduler::OutcomePtr oc = c.future.get();
+    EXPECT_EQ(oc->error, ServeError::Overloaded);
+
+    // A duplicate of a queued point still coalesces past a full queue.
+    Scheduler::Ticket dup =
+        sched.submit(resolvePoint(fastPoint("179.art"), {}), 0);
+    EXPECT_TRUE(dup.coalesced);
+
+    sched.resumeDispatch();
+    EXPECT_EQ(a.future.get()->error, ServeError::None);
+    EXPECT_EQ(b.future.get()->error, ServeError::None);
+    sched.awaitIdle();
+    EXPECT_EQ(sched.stats().rejected_overload, 1u);
+}
+
+TEST(ServeScheduler, ExpiredDeadlineFailsWithoutSimulating)
+{
+    Scheduler sched(fastSchedOptions());
+    sched.pauseDispatch();
+    Scheduler::Ticket t =
+        sched.submit(resolvePoint(fastPoint(), {}), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sched.resumeDispatch();
+
+    const Scheduler::OutcomePtr oc = t.future.get();
+    EXPECT_EQ(oc->error, ServeError::DeadlineExceeded);
+    sched.awaitIdle();
+    const SchedulerStats s = sched.stats();
+    EXPECT_EQ(s.rejected_deadline, 1u);
+    EXPECT_EQ(s.simulated, 0u);
+}
+
+TEST(ServeScheduler, DrainFinishesQueuedWorkAndRefusesNew)
+{
+    Scheduler sched(fastSchedOptions());
+    sched.pauseDispatch();
+    Scheduler::Ticket queued =
+        sched.submit(resolvePoint(fastPoint(), {}), 0);
+    sched.beginDrain(); // overrides the pause; queued work must finish
+
+    Scheduler::Ticket refused =
+        sched.submit(resolvePoint(fastPoint("179.art"), {}), 0);
+    EXPECT_TRUE(refused.rejected);
+    EXPECT_EQ(refused.future.get()->error, ServeError::Draining);
+
+    EXPECT_EQ(queued.future.get()->error, ServeError::None);
+    sched.awaitIdle();
+}
+
+TEST(ServeScheduler, BatchesDistinctBenchmarksInOneDispatch)
+{
+    Scheduler sched(fastSchedOptions());
+    sched.pauseDispatch();
+    Scheduler::Ticket a =
+        sched.submit(resolvePoint(fastPoint("186.crafty"), {}), 0);
+    Scheduler::Ticket b =
+        sched.submit(resolvePoint(fastPoint("179.art"), {}), 0);
+    sched.resumeDispatch();
+
+    EXPECT_EQ(a.future.get()->result.benchmark, "186.crafty");
+    EXPECT_EQ(b.future.get()->result.benchmark, "179.art");
+    sched.awaitIdle();
+    EXPECT_EQ(sched.stats().simulated, 2u);
+}
+
+// ------------------------------------------------------------- server
+
+namespace
+{
+
+ServerOptions
+fastServerOptions(int sock_idx)
+{
+    ServerOptions o;
+    o.unix_path = testSocketPath(sock_idx);
+    o.sched = fastSchedOptions();
+    o.sched.sweep.jobs = 8;
+    return o;
+}
+
+} // namespace
+
+TEST(ServeServer, ConcurrentClientsMatchDirectRunsBitExactly)
+{
+    const ServerOptions opts = fastServerOptions(1);
+    Server server(opts);
+    server.start();
+
+    const std::vector<std::string> policies = {
+        "none", "toggle1", "toggle2", "P",
+        "PI",   "PID",     "throttle", "vf-scaling",
+    };
+    std::vector<PointReply> replies(policies.size());
+    std::vector<std::thread> clients;
+    clients.reserve(policies.size());
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        clients.emplace_back([&, i] {
+            ServeClient c = ServeClient::connectUnix(opts.unix_path);
+            RunRequest req;
+            req.point = fastPoint("186.crafty", policies[i]);
+            replies[i] = c.run(req);
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    RunProtocol proto;
+    proto.warmup_cycles = 1000;
+    proto.measure_cycles = 10000;
+    const ExperimentRunner runner(proto);
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        ASSERT_EQ(replies[i].error, ServeError::None)
+            << policies[i] << ": " << replies[i].message;
+        SimConfig direct;
+        ASSERT_TRUE(
+            parseDtmPolicyKind(policies[i], direct.policy.kind));
+        const RunResult expect = runner.runOne(
+            specProfile("186.crafty"), direct.policy, direct);
+        expectSameResult(replies[i].result, expect);
+    }
+
+    const StatsReply stats = server.statsSnapshot();
+    EXPECT_EQ(stats.run_requests, policies.size());
+    EXPECT_EQ(stats.points_simulated, policies.size());
+    server.shutdown();
+}
+
+TEST(ServeServer, DuplicateConcurrentRequestsCoalesce)
+{
+    const ServerOptions opts = fastServerOptions(2);
+    Server server(opts);
+    server.start();
+
+    server.scheduler().pauseDispatch();
+    constexpr int kDup = 4;
+    std::vector<PointReply> replies(kDup);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kDup; ++i) {
+        clients.emplace_back([&, i] {
+            ServeClient c = ServeClient::connectUnix(opts.unix_path);
+            RunRequest req;
+            req.point = fastPoint("179.art", "PI");
+            replies[i] = c.run(req);
+        });
+    }
+    ASSERT_TRUE(waitFor([&] {
+        return server.scheduler().stats().submitted >= kDup;
+    }));
+    server.scheduler().resumeDispatch();
+    for (auto &t : clients)
+        t.join();
+
+    for (const auto &r : replies) {
+        ASSERT_EQ(r.error, ServeError::None) << r.message;
+        EXPECT_EQ(r.result.benchmark, "179.art");
+    }
+    const StatsReply stats = server.statsSnapshot();
+    EXPECT_EQ(stats.points_submitted, std::uint64_t(kDup));
+    EXPECT_EQ(stats.coalesced, std::uint64_t(kDup - 1));
+    EXPECT_EQ(stats.points_simulated, 1u); // sims < requests
+    server.shutdown();
+}
+
+TEST(ServeServer, FullQueueAnswersOverloadedImmediately)
+{
+    ServerOptions opts = fastServerOptions(3);
+    opts.sched.max_queue = 1;
+    Server server(opts);
+    server.start();
+
+    server.scheduler().pauseDispatch();
+    PointReply queued_reply;
+    std::thread queued([&] {
+        ServeClient c = ServeClient::connectUnix(opts.unix_path);
+        RunRequest req;
+        req.point = fastPoint("186.crafty");
+        queued_reply = c.run(req);
+    });
+    ASSERT_TRUE(waitFor(
+        [&] { return server.scheduler().stats().submitted >= 1; }));
+
+    // The queue slot is taken: a distinct point must bounce, not hang.
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    RunRequest req;
+    req.point = fastPoint("179.art");
+    const PointReply rejected = c.run(req);
+    EXPECT_EQ(rejected.error, ServeError::Overloaded);
+
+    server.scheduler().resumeDispatch();
+    queued.join();
+    EXPECT_EQ(queued_reply.error, ServeError::None);
+    server.shutdown();
+}
+
+TEST(ServeServer, SweepBatchesAndAnswersInGridOrder)
+{
+    std::filesystem::path cache_dir =
+        std::filesystem::temp_directory_path()
+        / ("tserve-cache-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(cache_dir);
+
+    ServerOptions opts = fastServerOptions(4);
+    opts.sched.sweep.use_cache = true;
+    opts.sched.sweep.cache_dir = cache_dir.string();
+    Server server(opts);
+    server.start();
+
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    SweepRequest req;
+    req.benchmarks = {"186.crafty", "179.art"};
+    req.policies = {"none", "PI"};
+    req.warmup_cycles = 1000;
+    req.measure_cycles = 10000;
+    const SweepReply reply = c.sweep(req);
+
+    ASSERT_EQ(reply.points.size(), 4u);
+    const char *expect_bench[] = {"186.crafty", "186.crafty", "179.art",
+                                  "179.art"};
+    const char *expect_policy[] = {"none", "PI", "none", "PI"};
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_EQ(reply.points[i].error, ServeError::None)
+            << reply.points[i].message;
+        EXPECT_EQ(reply.points[i].result.benchmark, expect_bench[i]);
+        EXPECT_EQ(reply.points[i].result.policy, expect_policy[i]);
+        EXPECT_FALSE(reply.points[i].cache_hit);
+    }
+
+    // Read-through cache: the same grid again is served without
+    // simulation, and a cache probe confirms the entries exist.
+    const SweepReply again = c.sweep(req);
+    for (const auto &p : again.points)
+        EXPECT_TRUE(p.cache_hit);
+
+    CacheQueryRequest probe;
+    probe.point = fastPoint("186.crafty", "PI");
+    const CacheQueryReply probed = c.cacheQuery(probe);
+    EXPECT_TRUE(probed.cached);
+    EXPECT_NE(probed.digest, 0u);
+
+    CacheQueryRequest miss;
+    miss.point = fastPoint("300.twolf", "PID");
+    EXPECT_FALSE(c.cacheQuery(miss).cached);
+
+    server.shutdown();
+    std::filesystem::remove_all(cache_dir);
+}
+
+TEST(ServeServer, UnknownNamesComeBackAsBadRequest)
+{
+    const ServerOptions opts = fastServerOptions(5);
+    Server server(opts);
+    server.start();
+
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    RunRequest req;
+    req.point = fastPoint("186.crafty", "warp-drive");
+    const PointReply reply = c.run(req);
+    EXPECT_EQ(reply.error, ServeError::BadRequest);
+    EXPECT_NE(reply.message.find("warp-drive"), std::string::npos);
+    server.shutdown();
+}
+
+TEST(ServeServer, ForeignWireVersionGetsTypedRejection)
+{
+    const ServerOptions opts = fastServerOptions(6);
+    Server server(opts);
+    server.start();
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    std::string frame = encodeFrame(MsgType::StatsRequest, "");
+    frame[4] = char(kWireVersion + 1); // a future protocol revision
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              ssize_t(frame.size()));
+
+    MsgType type;
+    std::string payload;
+    ASSERT_EQ(readFrame(fd, type, payload), ReadStatus::Ok);
+    ASSERT_EQ(type, MsgType::ErrorReply);
+    ErrorReply err;
+    ASSERT_TRUE(ErrorReply::decode(payload, err));
+    EXPECT_EQ(err.code, ServeError::VersionMismatch);
+    ::close(fd);
+    server.shutdown();
+}
+
+TEST(ServeServer, DrainCompletesInflightThenRefusesNewWork)
+{
+    const ServerOptions opts = fastServerOptions(7);
+    Server server(opts);
+    server.start();
+
+    server.scheduler().pauseDispatch();
+    PointReply inflight_reply;
+    std::thread inflight([&] {
+        ServeClient c = ServeClient::connectUnix(opts.unix_path);
+        RunRequest req;
+        req.point = fastPoint("186.crafty", "PI");
+        inflight_reply = c.run(req);
+    });
+    ASSERT_TRUE(waitFor(
+        [&] { return server.scheduler().stats().submitted >= 1; }));
+
+    {
+        ServeClient c = ServeClient::connectUnix(opts.unix_path);
+        EXPECT_FALSE(c.drain()); // first drain request
+    }
+    ASSERT_TRUE(waitFor([&] { return server.drainRequested(); }));
+
+    // The admitted request still completes with a real result.
+    inflight.join();
+    EXPECT_EQ(inflight_reply.error, ServeError::None)
+        << inflight_reply.message;
+    EXPECT_EQ(inflight_reply.result.benchmark, "186.crafty");
+
+    // New work is refused with the typed Draining error.
+    Scheduler::Ticket late = server.scheduler().submit(
+        resolvePoint(fastPoint("179.art"), {}), 0);
+    EXPECT_TRUE(late.rejected);
+    EXPECT_EQ(late.future.get()->error, ServeError::Draining);
+
+    server.shutdown();
+}

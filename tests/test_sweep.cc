@@ -13,6 +13,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "sim/sweep.hh"
 #include "workload/spec_profiles.hh"
 
@@ -169,8 +170,10 @@ TEST(SweepSerialization, RoundTripsEveryField)
     }
 
     const std::string bytes = serializeRunResult(r);
+    EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]),
+              kRunResultFormatVersion);
     RunResult out;
-    ASSERT_TRUE(deserializeRunResult(bytes, out));
+    ASSERT_EQ(deserializeRunResult(bytes, out), RunResultDecodeStatus::Ok);
     EXPECT_EQ(serializeRunResult(out), bytes);
     EXPECT_EQ(out.benchmark, r.benchmark);
     EXPECT_EQ(out.policy, r.policy);
@@ -188,11 +191,28 @@ TEST(SweepSerialization, RejectsMalformedBuffers)
     const std::string bytes = serializeRunResult(r);
 
     RunResult out;
-    EXPECT_FALSE(deserializeRunResult("", out));
-    EXPECT_FALSE(
-        deserializeRunResult(std::string_view(bytes).substr(0, 10), out));
+    EXPECT_EQ(deserializeRunResult("", out),
+              RunResultDecodeStatus::Malformed);
+    EXPECT_EQ(
+        deserializeRunResult(std::string_view(bytes).substr(0, 10), out),
+        RunResultDecodeStatus::Malformed);
     std::string trailing = bytes + "junk";
-    EXPECT_FALSE(deserializeRunResult(trailing, out));
+    EXPECT_EQ(deserializeRunResult(trailing, out),
+              RunResultDecodeStatus::Malformed);
+
+    // An old/foreign format version is a typed rejection, not garbage:
+    // rewrite the version byte and repair the trailing checksum so only
+    // the version mismatch can be the cause.
+    std::string old = bytes;
+    old[0] = static_cast<char>(kRunResultFormatVersion + 1);
+    {
+        ByteWriter fix;
+        fix.u64(hashString(
+            std::string_view(old).substr(0, old.size() - 8)));
+        old.replace(old.size() - 8, 8, fix.buffer());
+    }
+    EXPECT_EQ(deserializeRunResult(old, out),
+              RunResultDecodeStatus::BadVersion);
 }
 
 TEST(SweepDigest, SensitiveToEveryAxisItCovers)

@@ -39,6 +39,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/policy_factory.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "workload/spec_profiles.hh"
@@ -51,16 +52,14 @@ namespace
 DtmPolicyKind
 parsePolicy(const std::string &name)
 {
-    for (DtmPolicyKind kind :
-         {DtmPolicyKind::None, DtmPolicyKind::Toggle1,
-          DtmPolicyKind::Toggle2, DtmPolicyKind::Manual,
-          DtmPolicyKind::P, DtmPolicyKind::PI, DtmPolicyKind::PID,
-          DtmPolicyKind::Throttle, DtmPolicyKind::SpecControl,
-          DtmPolicyKind::VfScale}) {
-        if (name == dtmPolicyKindName(kind))
-            return kind;
+    DtmPolicyKind kind;
+    if (!parseDtmPolicyKind(name, kind)) {
+        std::string all;
+        for (const auto &n : dtmPolicyNames())
+            all += all.empty() ? n : "|" + n;
+        fatal("unknown policy '", name, "' (expected one of ", all, ")");
     }
-    fatal("unknown policy '", name, "'");
+    return kind;
 }
 
 std::vector<std::string>
@@ -78,6 +77,10 @@ splitList(const std::string &arg)
             break;
         start = comma + 1;
     }
+    // An all-separator argument ("--bench ,") used to decay silently to
+    // the built-in default; make it a hard usage error instead.
+    if (parts.empty())
+        fatal("empty name list '", arg, "'");
     return parts;
 }
 

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * thermctl_serve — long-running thermal-simulation daemon.
+ *
+ * Usage:
+ *   thermctl_serve [options]
+ *     --socket PATH       Unix-domain listener (default: THERMCTL_SOCKET,
+ *                         $XDG_RUNTIME_DIR/thermctl.sock, or
+ *                         /tmp/thermctl-<uid>.sock)
+ *     --tcp PORT          also listen on TCP loopback (0 = ephemeral;
+ *                         the bound port is printed on startup)
+ *     --jobs N            sweep engine worker threads (default
+ *                         THERMCTL_JOBS or all cores)
+ *     --cache-dir PATH    result cache directory (default
+ *                         THERMCTL_CACHE_DIR or ~/.cache/thermctl)
+ *     --no-cache          disable the on-disk result cache
+ *     --max-queue N       admission-control queue bound (default 256)
+ *     --dispatchers N     scheduler dispatcher threads (default 2)
+ *     --batch-window-ms N hold dispatch briefly so concurrent requests
+ *                         coalesce and batch (default 0 = immediate)
+ *
+ * SIGTERM/SIGINT trigger a graceful drain: in-flight requests finish
+ * and their replies are delivered, new work is refused with a typed
+ * Draining error, then the daemon logs its counters and exits 0.
+ */
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "serve/server.hh"
+
+using namespace thermctl;
+using namespace thermctl::serve;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: thermctl_serve [--socket PATH] [--tcp PORT] [--jobs N]\n"
+        "                      [--cache-dir PATH] [--no-cache]\n"
+        "                      [--max-queue N] [--dispatchers N]\n"
+        "                      [--batch-window-ms N]\n";
+}
+
+void
+logStats(const StatsReply &s)
+{
+    std::cerr << "thermctl_serve: served " << s.requests_total
+              << " requests (" << s.run_requests << " run, "
+              << s.sweep_requests << " sweep, " << s.cache_queries
+              << " cache-query) over " << s.connections_accepted
+              << " connections in " << s.uptime_seconds << " s\n"
+              << "thermctl_serve: " << s.points_submitted
+              << " points submitted, " << s.points_simulated
+              << " simulated, " << s.cache_hits << " cache hits, "
+              << s.coalesced << " coalesced, " << s.rejected_overload
+              << " overloaded, " << s.rejected_deadline
+              << " deadline-expired, " << s.failed << " failed\n"
+              << "thermctl_serve: queue high water " << s.queue_high_water
+              << ", latency mean " << s.latency_mean_ms << " ms (p50 "
+              << s.latency_p50_ms << ", p90 " << s.latency_p90_ms
+              << ", p99 " << s.latency_p99_ms << ")\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerOptions opts;
+    opts.unix_path = defaultSocketPath();
+    const char *no_cache_env = std::getenv("THERMCTL_NO_CACHE");
+    opts.sched.sweep.use_cache = !(no_cache_env && no_cache_env[0] == '1');
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value for ", arg);
+                return argv[++i];
+            };
+            if (arg == "--socket") {
+                opts.unix_path = next();
+            } else if (arg == "--tcp") {
+                opts.tcp = true;
+                opts.tcp_port = std::stoi(next());
+            } else if (arg == "--jobs") {
+                const long v = std::stol(next());
+                if (v < 1)
+                    fatal("--jobs must be >= 1");
+                opts.sched.sweep.jobs = static_cast<unsigned>(v);
+            } else if (arg == "--cache-dir") {
+                opts.sched.sweep.cache_dir = next();
+            } else if (arg == "--no-cache") {
+                opts.sched.sweep.use_cache = false;
+            } else if (arg == "--max-queue") {
+                const long v = std::stol(next());
+                if (v < 1)
+                    fatal("--max-queue must be >= 1");
+                opts.sched.max_queue = static_cast<std::size_t>(v);
+            } else if (arg == "--dispatchers") {
+                const long v = std::stol(next());
+                if (v < 1)
+                    fatal("--dispatchers must be >= 1");
+                opts.sched.dispatchers = static_cast<unsigned>(v);
+            } else if (arg == "--batch-window-ms") {
+                opts.sched.batch_window_ms = std::stoull(next());
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else {
+                usage();
+                fatal("unknown option ", arg);
+            }
+        }
+
+        // Signals are delivered to a dedicated sigwait thread so the
+        // drain path runs in normal (not async-signal) context.
+        sigset_t sigs;
+        sigemptyset(&sigs);
+        sigaddset(&sigs, SIGTERM);
+        sigaddset(&sigs, SIGINT);
+        pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+        Server server(opts);
+        server.start();
+
+        std::thread sig_thread([&server, sigs] {
+            int sig = 0;
+            sigwait(&sigs, &sig);
+            if (!server.drainRequested()) {
+                std::cerr << "thermctl_serve: caught "
+                          << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                          << ", draining\n";
+            }
+            server.beginDrain();
+        });
+
+        std::cerr << "thermctl_serve: listening on " << opts.unix_path;
+        if (opts.tcp)
+            std::cerr << " and tcp:127.0.0.1:" << server.tcpPort();
+        std::cerr << "\n";
+
+        server.waitForDrainRequest();
+        // A client-initiated drain leaves the signal thread parked in
+        // sigwait; poke it so it can be joined before `server` dies.
+        kill(getpid(), SIGTERM);
+        sig_thread.join();
+        server.shutdown();
+        logStats(server.statsSnapshot());
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+}
