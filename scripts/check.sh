@@ -1,19 +1,35 @@
 #!/usr/bin/env bash
-# Correctness matrix for thermctl. Runs, in order:
+# Correctness matrix for thermctl. Stages, in order:
 #
-#   1. format check        (skipped when clang-format is absent)
-#   2. plain build + ctest with -Werror and the physics-invariant
-#      instrumentation compiled in (THERMCTL_INVARIANTS=ON)
-#   3. ASan+UBSan build + ctest (same instrumentation; includes the
-#      property-fuzz suite under the sanitizers)
-#   4. serve smoke: the thermctl_serve daemon (ASan+UBSan build) under
-#      concurrent clients — a duplicate pair must coalesce, client
-#      output must be bit-identical to a direct thermctl_run, and
-#      SIGTERM must drain cleanly with exit code 0
-#   5. TSan build + parallel bench smoke: the sweep engine's worker
-#      pool and warm-cache read path run under -fsanitize=thread with
-#      THERMCTL_FAST=1
-#   6. clang-tidy build    (skipped when clang-tidy is absent)
+#   format         clang-format check (skipped when absent)
+#   plain          build + ctest with -Werror and the physics-invariant
+#                  instrumentation compiled in (THERMCTL_INVARIANTS=ON)
+#   lint           thermctl_lint project-rule linter over src/ with the
+#                  committed allowlist (.thermctl-lint-allow)
+#   thread-safety  compile with Clang Thread Safety Analysis as errors
+#                  (THERMCTL_THREAD_SAFETY=ON; skipped when clang++ is
+#                  absent)
+#   asan           ASan+UBSan build + ctest (same instrumentation;
+#                  includes the property-fuzz suite and the fuzz corpus
+#                  replay under the sanitizers)
+#   serve          serve smoke: the thermctl_serve daemon (ASan+UBSan
+#                  build) under concurrent clients — a duplicate pair
+#                  must coalesce, client output must be bit-identical to
+#                  a direct thermctl_run, and SIGTERM must drain cleanly
+#   tsan           TSan build + parallel bench smoke: the sweep engine's
+#                  worker pool and warm-cache read path under
+#                  -fsanitize=thread with THERMCTL_FAST=1
+#   fuzz-replay    corpus replay through the fuzz harnesses as plain
+#                  ctests; with clang++ present additionally a short
+#                  coverage-guided smoke (libFuzzer, -max_total_time=30
+#                  per target) seeded from the committed corpus
+#   tidy           clang-tidy build (skipped when absent)
+#
+# Run everything (default) or one stage:
+#
+#   scripts/check.sh
+#   scripts/check.sh --stage lint
+#   scripts/check.sh --stage thread-safety
 #
 # Each stage uses its own build tree under build-check/ so the matrix
 # never disturbs an existing build/ directory.
@@ -25,100 +41,198 @@ cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 base="build-check"
 
+all_stages="format plain lint thread-safety asan serve tsan fuzz-replay tidy"
+selected="all"
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --stage)
+        [ $# -ge 2 ] || { echo "check.sh: --stage needs a name" >&2; exit 2; }
+        selected="$2"
+        shift 2
+        ;;
+      -h|--help)
+        echo "usage: check.sh [--stage all|${all_stages// /|}]"
+        exit 0
+        ;;
+      *)
+        echo "check.sh: unknown argument '$1'" >&2
+        exit 2
+        ;;
+    esac
+done
+case " all ${all_stages} " in
+  *" ${selected} "*) ;;
+  *) echo "check.sh: unknown stage '${selected}'" >&2; exit 2 ;;
+esac
+
+want() { [ "${selected}" = all ] || [ "${selected}" = "$1" ]; }
 stage() { printf '\n=== check.sh: %s ===\n' "$1"; }
 
-stage "format check"
-./scripts/format.sh --check
+have_clangxx() { command -v clang++ >/dev/null 2>&1; }
 
-stage "plain build (-Werror, invariants on) + ctest"
-cmake -B "${base}/plain" -S . \
-    -DTHERMCTL_WERROR=ON -DTHERMCTL_INVARIANTS=ON
-cmake --build "${base}/plain" -j "${jobs}"
-ctest --test-dir "${base}/plain" --output-on-failure -j "${jobs}"
-
-stage "ASan+UBSan build + ctest"
-cmake -B "${base}/asan" -S . \
-    -DTHERMCTL_INVARIANTS=ON "-DTHERMCTL_SANITIZE=address;undefined"
-cmake --build "${base}/asan" -j "${jobs}"
-ctest --test-dir "${base}/asan" --output-on-failure -j "${jobs}"
-
-stage "serve smoke (ASan+UBSan daemon, concurrent clients)"
-smoke_dir="$(mktemp -d)"
-serve_pid=""
-trap 'if [ -n "${serve_pid}" ]; then kill "${serve_pid}" 2>/dev/null || true; fi; rm -rf "${smoke_dir}"' EXIT
-smoke_sock="${smoke_dir}/serve.sock"
-# The batch window holds the first dispatch briefly so the duplicate
-# client pair below lands while its twin is still in flight.
-THERMCTL_FAST=1 "${base}/asan/tools/thermctl_serve" \
-    --socket "${smoke_sock}" --cache-dir "${smoke_dir}/cache" \
-    --jobs 8 --batch-window-ms 300 2>"${smoke_dir}/serve.log" &
-serve_pid=$!
-for _ in $(seq 100); do
-    [ -S "${smoke_sock}" ] && break
-    sleep 0.1
-done
-[ -S "${smoke_sock}" ] || { cat "${smoke_dir}/serve.log"; exit 1; }
-
-smoke_client() {
-    "${base}/asan/tools/thermctl_client" --socket "${smoke_sock}" \
-        --warmup 2000 --cycles 50000 "$@"
-}
-smoke_client --bench 186.crafty --policy PI >"${smoke_dir}/dup1.out" &
-dup1_pid=$!
-smoke_client --bench 186.crafty --policy PI >"${smoke_dir}/dup2.out" &
-dup2_pid=$!
-smoke_client --bench 179.art --policy none >"${smoke_dir}/other.out" &
-other_pid=$!
-wait "${dup1_pid}" "${dup2_pid}" "${other_pid}"
-cmp "${smoke_dir}/dup1.out" "${smoke_dir}/dup2.out"
-
-coalesced="$(smoke_client --stats \
-    | awk '/^coalesced/ {print $NF}')"
-if [ "${coalesced:-0}" -lt 1 ]; then
-    echo "serve smoke: duplicate request pair did not coalesce" >&2
-    exit 1
+if want format; then
+    stage "format check"
+    ./scripts/format.sh --check
 fi
 
-# Bit-identity: the served result must match a direct, uncached run.
-"${base}/asan/tools/thermctl_run" --bench 186.crafty --policy PI \
-    --warmup 2000 --cycles 50000 --no-cache >"${smoke_dir}/direct.out"
-cmp "${smoke_dir}/dup1.out" "${smoke_dir}/direct.out"
+if want plain; then
+    stage "plain build (-Werror, invariants on) + ctest"
+    cmake -B "${base}/plain" -S . \
+        -DTHERMCTL_WERROR=ON -DTHERMCTL_INVARIANTS=ON
+    cmake --build "${base}/plain" -j "${jobs}"
+    ctest --test-dir "${base}/plain" --output-on-failure -j "${jobs}"
+fi
 
-kill -TERM "${serve_pid}"
-if ! wait "${serve_pid}"; then
-    echo "serve smoke: daemon did not drain cleanly on SIGTERM" >&2
+if want lint; then
+    stage "project-rule lint (thermctl_lint over src/)"
+    cmake -B "${base}/plain" -S . \
+        -DTHERMCTL_WERROR=ON -DTHERMCTL_INVARIANTS=ON >/dev/null
+    cmake --build "${base}/plain" -j "${jobs}" --target thermctl_lint
+    "${base}/plain/tools/thermctl_lint" \
+        --allowlist .thermctl-lint-allow src/
+fi
+
+if want thread-safety; then
+    stage "thread-safety analysis (-Werror=thread-safety)"
+    if have_clangxx; then
+        cmake -B "${base}/tsa" -S . \
+            -DCMAKE_CXX_COMPILER=clang++ -DTHERMCTL_THREAD_SAFETY=ON
+        cmake --build "${base}/tsa" -j "${jobs}"
+    else
+        echo "clang++ not found; skipping thread-safety stage"
+    fi
+fi
+
+if want asan; then
+    stage "ASan+UBSan build + ctest"
+    cmake -B "${base}/asan" -S . \
+        -DTHERMCTL_INVARIANTS=ON "-DTHERMCTL_SANITIZE=address;undefined"
+    cmake --build "${base}/asan" -j "${jobs}"
+    ctest --test-dir "${base}/asan" --output-on-failure -j "${jobs}"
+fi
+
+if want serve; then
+    stage "serve smoke (ASan+UBSan daemon, concurrent clients)"
+    cmake -B "${base}/asan" -S . \
+        -DTHERMCTL_INVARIANTS=ON \
+        "-DTHERMCTL_SANITIZE=address;undefined" >/dev/null
+    cmake --build "${base}/asan" -j "${jobs}" \
+        --target thermctl_serve_bin thermctl_client thermctl_run
+    smoke_dir="$(mktemp -d)"
+    serve_pid=""
+    trap 'if [ -n "${serve_pid}" ]; then kill "${serve_pid}" 2>/dev/null || true; fi; rm -rf "${smoke_dir}"' EXIT
+    smoke_sock="${smoke_dir}/serve.sock"
+    # The batch window holds the first dispatch briefly so the duplicate
+    # client pair below lands while its twin is still in flight.
+    THERMCTL_FAST=1 "${base}/asan/tools/thermctl_serve" \
+        --socket "${smoke_sock}" --cache-dir "${smoke_dir}/cache" \
+        --jobs 8 --batch-window-ms 300 2>"${smoke_dir}/serve.log" &
+    serve_pid=$!
+    for _ in $(seq 100); do
+        [ -S "${smoke_sock}" ] && break
+        sleep 0.1
+    done
+    [ -S "${smoke_sock}" ] || { cat "${smoke_dir}/serve.log"; exit 1; }
+
+    smoke_client() {
+        "${base}/asan/tools/thermctl_client" --socket "${smoke_sock}" \
+            --warmup 2000 --cycles 50000 "$@"
+    }
+    smoke_client --bench 186.crafty --policy PI >"${smoke_dir}/dup1.out" &
+    dup1_pid=$!
+    smoke_client --bench 186.crafty --policy PI >"${smoke_dir}/dup2.out" &
+    dup2_pid=$!
+    smoke_client --bench 179.art --policy none >"${smoke_dir}/other.out" &
+    other_pid=$!
+    wait "${dup1_pid}" "${dup2_pid}" "${other_pid}"
+    cmp "${smoke_dir}/dup1.out" "${smoke_dir}/dup2.out"
+
+    coalesced="$(smoke_client --stats \
+        | awk '/^coalesced/ {print $NF}')"
+    if [ "${coalesced:-0}" -lt 1 ]; then
+        echo "serve smoke: duplicate request pair did not coalesce" >&2
+        exit 1
+    fi
+
+    # Bit-identity: the served result must match a direct, uncached run.
+    "${base}/asan/tools/thermctl_run" --bench 186.crafty --policy PI \
+        --warmup 2000 --cycles 50000 --no-cache >"${smoke_dir}/direct.out"
+    cmp "${smoke_dir}/dup1.out" "${smoke_dir}/direct.out"
+
+    kill -TERM "${serve_pid}"
+    if ! wait "${serve_pid}"; then
+        echo "serve smoke: daemon did not drain cleanly on SIGTERM" >&2
+        cat "${smoke_dir}/serve.log"
+        exit 1
+    fi
+    serve_pid=""
+    [ ! -S "${smoke_sock}" ] || {
+        echo "serve smoke: socket not unlinked on shutdown" >&2; exit 1; }
     cat "${smoke_dir}/serve.log"
-    exit 1
-fi
-serve_pid=""
-[ ! -S "${smoke_sock}" ] || {
-    echo "serve smoke: socket not unlinked on shutdown" >&2; exit 1; }
-cat "${smoke_dir}/serve.log"
-rm -rf "${smoke_dir}"
-trap - EXIT
-
-stage "TSan parallel bench smoke"
-cmake -B "${base}/tsan" -S . "-DTHERMCTL_SANITIZE=thread"
-cmake --build "${base}/tsan" -j "${jobs}" \
-    --target test_sweep table4_characterization table6_structure_temps
-ctest --test-dir "${base}/tsan" --output-on-failure -R test_sweep
-tsan_cache="$(mktemp -d)"
-trap 'rm -rf "${tsan_cache}"' EXIT
-# Cold run exercises the worker pool + cache writes; the second binary
-# shares the characterization grid, so it exercises warm-cache reads.
-THERMCTL_FAST=1 THERMCTL_JOBS=8 THERMCTL_QUIET=1 \
-    "${base}/tsan/bench/table4_characterization" \
-    --cache-dir "${tsan_cache}" >/dev/null
-THERMCTL_FAST=1 THERMCTL_JOBS=8 THERMCTL_QUIET=1 \
-    "${base}/tsan/bench/table6_structure_temps" \
-    --cache-dir "${tsan_cache}" >/dev/null
-
-stage "clang-tidy"
-if command -v clang-tidy >/dev/null 2>&1; then
-    cmake -B "${base}/tidy" -S . -DTHERMCTL_CLANG_TIDY=ON
-    cmake --build "${base}/tidy" -j "${jobs}"
-else
-    echo "clang-tidy not found; skipping static-analysis stage"
+    rm -rf "${smoke_dir}"
+    trap - EXIT
 fi
 
-stage "all stages passed"
+if want tsan; then
+    stage "TSan parallel bench smoke"
+    cmake -B "${base}/tsan" -S . "-DTHERMCTL_SANITIZE=thread"
+    cmake --build "${base}/tsan" -j "${jobs}" \
+        --target test_sweep table4_characterization table6_structure_temps
+    ctest --test-dir "${base}/tsan" --output-on-failure -R test_sweep
+    tsan_cache="$(mktemp -d)"
+    trap 'rm -rf "${tsan_cache}"' EXIT
+    # Cold run exercises the worker pool + cache writes; the second
+    # binary shares the characterization grid, so it exercises
+    # warm-cache reads.
+    THERMCTL_FAST=1 THERMCTL_JOBS=8 THERMCTL_QUIET=1 \
+        "${base}/tsan/bench/table4_characterization" \
+        --cache-dir "${tsan_cache}" >/dev/null
+    THERMCTL_FAST=1 THERMCTL_JOBS=8 THERMCTL_QUIET=1 \
+        "${base}/tsan/bench/table6_structure_temps" \
+        --cache-dir "${tsan_cache}" >/dev/null
+    trap - EXIT
+fi
+
+if want fuzz-replay; then
+    stage "fuzz corpus replay (plain ctest)"
+    cmake -B "${base}/plain" -S . \
+        -DTHERMCTL_WERROR=ON -DTHERMCTL_INVARIANTS=ON >/dev/null
+    cmake --build "${base}/plain" -j "${jobs}" \
+        --target fuzz_protocol_replay fuzz_runresult_replay \
+                 fuzz_trace_replay
+    ctest --test-dir "${base}/plain" --output-on-failure -R 'fuzz_replay'
+
+    if have_clangxx; then
+        stage "fuzz smoke (libFuzzer, 30s per target)"
+        cmake -B "${base}/fuzz" -S . \
+            -DCMAKE_CXX_COMPILER=clang++ -DTHERMCTL_FUZZ=ON
+        cmake --build "${base}/fuzz" -j "${jobs}" \
+            --target fuzz_protocol fuzz_runresult fuzz_trace
+        fuzz_scratch="$(mktemp -d)"
+        trap 'rm -rf "${fuzz_scratch}"' EXIT
+        for harness in protocol runresult trace; do
+            # Scratch dir first: libFuzzer writes newly discovered
+            # inputs there, keeping the committed corpus pristine.
+            mkdir -p "${fuzz_scratch}/${harness}"
+            "${base}/fuzz/tests/fuzz/fuzz_${harness}" \
+                -max_total_time=30 -print_final_stats=1 \
+                "${fuzz_scratch}/${harness}" "tests/fuzz/corpus/${harness}"
+        done
+        rm -rf "${fuzz_scratch}"
+        trap - EXIT
+    else
+        echo "clang++ not found; skipping coverage-guided fuzz smoke"
+    fi
+fi
+
+if want tidy; then
+    stage "clang-tidy"
+    if command -v clang-tidy >/dev/null 2>&1; then
+        cmake -B "${base}/tidy" -S . -DTHERMCTL_CLANG_TIDY=ON
+        cmake --build "${base}/tidy" -j "${jobs}"
+    else
+        echo "clang-tidy not found; skipping static-analysis stage"
+    fi
+fi
+
+stage "selected stages passed (${selected})"

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <iostream>
 
+#include "common/mutex.hh"
+
 namespace thermctl
 {
 
@@ -10,6 +12,20 @@ namespace
 {
 
 std::atomic<bool> quiet_flag{false};
+
+/**
+ * Serializes warn()/inform() lines. Stream insertion on std::cerr is
+ * thread-safe per the standard, but each message here is built from
+ * several insertions ("warn: ", msg, '\n'), so concurrent callers --
+ * sweep workers, serve connection threads -- could interleave
+ * fragments mid-line without this lock.
+ */
+Mutex &
+streamMutex()
+{
+    static Mutex mu;
+    return mu;
+}
 
 } // namespace
 
@@ -28,15 +44,19 @@ isQuiet()
 void
 warnMessage(const std::string &msg)
 {
-    if (!isQuiet())
+    if (!isQuiet()) {
+        MutexLock lock(streamMutex());
         std::cerr << "warn: " << msg << '\n';
+    }
 }
 
 void
 informMessage(const std::string &msg)
 {
-    if (!isQuiet())
+    if (!isQuiet()) {
+        MutexLock lock(streamMutex());
         std::cerr << "info: " << msg << '\n';
+    }
 }
 
 } // namespace thermctl

@@ -82,6 +82,16 @@ class ByteReader
     /** @return true when the whole buffer was consumed successfully. */
     bool atEnd() const { return ok_ && pos_ == buf_.size(); }
 
+    /**
+     * @return bytes left to read (0 once failed).
+     *
+     * Decoders use this to sanity-bound untrusted element counts before
+     * reserving: a container whose elements occupy at least k bytes each
+     * cannot legitimately have more than remaining()/k elements, so a
+     * hostile count prefix cannot force an oversized allocation.
+     */
+    std::size_t remaining() const { return ok_ ? buf_.size() - pos_ : 0; }
+
   private:
     bool take(void *dst, std::size_t n);
 

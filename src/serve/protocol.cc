@@ -55,9 +55,11 @@ bool
 decodeStrings(ByteReader &r, std::vector<std::string> &v)
 {
     const std::uint64_t n = r.u64();
-    // A length prefix can't exceed the remaining payload bytes, so this
-    // also bounds allocation against corrupt counts.
-    if (!r.ok() || n > kMaxFramePayload)
+    // Every encoded string occupies at least its 8-byte length prefix,
+    // so a count beyond remaining()/8 is provably corrupt. Rejecting it
+    // here (rather than only capping at kMaxFramePayload) keeps a
+    // hostile 13-byte payload from forcing a multi-hundred-MB reserve.
+    if (!r.ok() || n > r.remaining() / 8)
         return false;
     v.clear();
     v.reserve(n);
@@ -320,7 +322,13 @@ SweepReply::decode(std::string_view payload, SweepReply &out)
 {
     ByteReader r(payload);
     const std::uint64_t n = r.u64();
-    if (!r.ok() || n > kMaxFramePayload)
+    // A PointReply encodes to >= 19 bytes (error byte, message length
+    // prefix, two flag bytes, server_ms), so bound the count by the
+    // bytes actually present before reserving sizeof(PointReply) each —
+    // PointReply is large (inline RunResult), which made the old
+    // kMaxFramePayload cap an allocation amplifier.
+    constexpr std::uint64_t kMinPointReplyBytes = 19;
+    if (!r.ok() || n > r.remaining() / kMinPointReplyBytes)
         return false;
     out.points.clear();
     out.points.reserve(n);

@@ -101,7 +101,7 @@ Scheduler::~Scheduler()
 Scheduler::Ticket
 Scheduler::submit(const ResolvedPoint &point, std::uint64_t deadline_ms)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     counters_.submitted++;
 
     if (draining_ || stopping_)
@@ -150,14 +150,14 @@ Scheduler::submit(const ResolvedPoint &point, std::uint64_t deadline_ms)
 void
 Scheduler::pauseDispatch()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     paused_ = true;
 }
 
 void
 Scheduler::resumeDispatch()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     paused_ = false;
     work_cv_.notify_all();
 }
@@ -165,7 +165,7 @@ Scheduler::resumeDispatch()
 void
 Scheduler::beginDrain()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     draining_ = true;
     // Drain overrides a test-paused dispatcher: queued work must finish.
     paused_ = false;
@@ -175,17 +175,16 @@ Scheduler::beginDrain()
 void
 Scheduler::awaitIdle()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] {
-        return queue_.empty() && dispatching_ == 0 && inflight_.empty();
-    });
+    MutexLock lock(mutex_);
+    while (!(queue_.empty() && dispatching_ == 0 && inflight_.empty()))
+        idle_cv_.wait(mutex_);
 }
 
 void
 Scheduler::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (stopping_)
             return;
         draining_ = true;
@@ -201,7 +200,7 @@ Scheduler::stop()
 SchedulerStats
 Scheduler::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SchedulerStats s = counters_;
     s.queue_depth = queue_.size();
     s.latency_count = latency_ms_.count();
@@ -212,14 +211,23 @@ Scheduler::stats() const
     return s;
 }
 
+std::vector<std::shared_ptr<Scheduler::Pending>>
+Scheduler::takeBatch()
+{
+    std::vector<std::shared_ptr<Pending>> batch(queue_.begin(),
+                                                queue_.end());
+    queue_.clear();
+    dispatching_ += batch.size();
+    return batch;
+}
+
 void
 Scheduler::dispatchLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-        work_cv_.wait(lock, [this] {
-            return stopping_ || (!paused_ && !queue_.empty());
-        });
+        while (!(stopping_ || (!paused_ && !queue_.empty())))
+            work_cv_.wait(mutex_);
         if (queue_.empty()) {
             if (stopping_)
                 return;
@@ -233,14 +241,13 @@ Scheduler::dispatchLoop()
             const auto until =
                 Clock::now()
                 + std::chrono::milliseconds(opts_.batch_window_ms);
-            work_cv_.wait_until(lock, until,
-                                [this] { return stopping_; });
+            while (!stopping_ && work_cv_.waitUntil(mutex_, until)) {
+                // Woken before the window closed; keep collecting
+                // until the deadline unless a stop arrived.
+            }
         }
 
-        std::vector<std::shared_ptr<Pending>> batch(queue_.begin(),
-                                                    queue_.end());
-        queue_.clear();
-        dispatching_ += batch.size();
+        auto batch = takeBatch();
         lock.unlock();
         runBatch(std::move(batch));
         lock.lock();
@@ -259,7 +266,7 @@ Scheduler::finish(const std::shared_ptr<Pending> &p, Outcome outcome)
     const bool ok = outcome.error == ServeError::None;
     const bool hit = outcome.cache_hit;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // Un-register before fulfilling: a digest is coalescible only
         // while its outcome is still pending.
         inflight_.erase(p->point.digest);
@@ -287,7 +294,7 @@ Scheduler::runBatch(std::vector<std::shared_ptr<Pending>> batch)
     for (auto &p : batch) {
         if (p->has_deadline && now > p->deadline) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 counters_.rejected_deadline++;
             }
             Outcome oc;
@@ -325,7 +332,7 @@ Scheduler::runBatch(std::vector<std::shared_ptr<Pending>> batch)
             }
         } catch (const std::exception &e) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 counters_.failed += members.size();
             }
             for (std::size_t i : members) {

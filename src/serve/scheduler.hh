@@ -26,17 +26,16 @@
 #ifndef THERMCTL_SERVE_SCHEDULER_HH
 #define THERMCTL_SERVE_SCHEDULER_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/stats.hh"
 #include "serve/protocol.hh"
 #include "sim/sweep.hh"
@@ -141,52 +140,61 @@ class Scheduler
      * ticket (Overloaded when the queue is full, Draining after
      * beginDrain()).
      */
-    Ticket submit(const ResolvedPoint &point, std::uint64_t deadline_ms);
+    Ticket submit(const ResolvedPoint &point, std::uint64_t deadline_ms)
+        THERMCTL_EXCLUDES(mutex_);
 
     /**
      * Hold dispatch (queued points stay queued; running batches finish).
      * Tests use this to make coalescing and overload deterministic.
      */
-    void pauseDispatch();
-    void resumeDispatch();
+    void pauseDispatch() THERMCTL_EXCLUDES(mutex_);
+    void resumeDispatch() THERMCTL_EXCLUDES(mutex_);
 
     /** Refuse new submissions; queued and running work continues. */
-    void beginDrain();
+    void beginDrain() THERMCTL_EXCLUDES(mutex_);
 
     /** Block until no point is queued or running. */
-    void awaitIdle();
+    void awaitIdle() THERMCTL_EXCLUDES(mutex_);
 
     /** Drain, finish everything, and join the dispatchers. */
-    void stop();
+    void stop() THERMCTL_EXCLUDES(mutex_);
 
-    SchedulerStats stats() const;
+    SchedulerStats stats() const THERMCTL_EXCLUDES(mutex_);
 
     const Options &options() const { return opts_; }
 
   private:
     struct Pending;
 
-    void dispatchLoop();
-    void runBatch(std::vector<std::shared_ptr<Pending>> batch);
-    void finish(const std::shared_ptr<Pending> &p, Outcome outcome);
+    void dispatchLoop() THERMCTL_EXCLUDES(mutex_);
+    void runBatch(std::vector<std::shared_ptr<Pending>> batch)
+        THERMCTL_EXCLUDES(mutex_);
+    void finish(const std::shared_ptr<Pending> &p, Outcome outcome)
+        THERMCTL_EXCLUDES(mutex_);
+
+    /** Pop every queued point as one batch. */
+    std::vector<std::shared_ptr<Pending>> takeBatch()
+        THERMCTL_REQUIRES(mutex_);
 
     Options opts_;
     SweepEngine engine_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable work_cv_; ///< queue became non-empty / state
-    std::condition_variable idle_cv_; ///< queue + in-flight went empty
-    std::deque<std::shared_ptr<Pending>> queue_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> inflight_;
-    std::size_t dispatching_ = 0; ///< points currently in a running batch
-    bool paused_ = false;
-    bool draining_ = false;
-    bool stopping_ = false;
+    mutable Mutex mutex_;
+    CondVar work_cv_; ///< queue became non-empty / state change
+    CondVar idle_cv_; ///< queue + in-flight went empty
+    std::deque<std::shared_ptr<Pending>> queue_
+        THERMCTL_GUARDED_BY(mutex_);
+    std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> inflight_
+        THERMCTL_GUARDED_BY(mutex_);
+    /** Points currently in a running batch. */
+    std::size_t dispatching_ THERMCTL_GUARDED_BY(mutex_) = 0;
+    bool paused_ THERMCTL_GUARDED_BY(mutex_) = false;
+    bool draining_ THERMCTL_GUARDED_BY(mutex_) = false;
+    bool stopping_ THERMCTL_GUARDED_BY(mutex_) = false;
 
-    // Counters (guarded by mutex_).
-    SchedulerStats counters_;
-    Accumulator latency_ms_;
-    Histogram latency_hist_ms_;
+    SchedulerStats counters_ THERMCTL_GUARDED_BY(mutex_);
+    Accumulator latency_ms_ THERMCTL_GUARDED_BY(mutex_);
+    Histogram latency_hist_ms_ THERMCTL_GUARDED_BY(mutex_);
 
     std::vector<std::thread> dispatchers_;
 };

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/mutex.hh"
 
 namespace thermctl::serve
 {
@@ -128,15 +129,16 @@ Server::beginDrain()
         const char b = 1;
         [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
     }
-    std::lock_guard<std::mutex> lock(drain_mutex_);
+    MutexLock lock(drain_mutex_);
     drain_cv_.notify_all();
 }
 
 void
 Server::waitForDrainRequest()
 {
-    std::unique_lock<std::mutex> lock(drain_mutex_);
-    drain_cv_.wait(lock, [this] { return draining_.load(); });
+    MutexLock lock(drain_mutex_);
+    while (!draining_.load())
+        drain_cv_.wait(drain_mutex_);
 }
 
 void
@@ -160,7 +162,7 @@ Server::shutdown()
 
     std::vector<std::thread> threads;
     {
-        std::lock_guard<std::mutex> lock(conn_mutex_);
+        MutexLock lock(conn_mutex_);
         threads.swap(conn_threads_);
     }
     for (auto &t : threads)
@@ -244,7 +246,7 @@ Server::acceptLoop()
             ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
             connections_accepted_++;
             active_connections_++;
-            std::lock_guard<std::mutex> lock(conn_mutex_);
+            MutexLock lock(conn_mutex_);
             conn_threads_.emplace_back(
                 [this, fd] { serveConnection(fd); });
         }
@@ -255,7 +257,7 @@ Server::acceptLoop()
 void
 Server::reapFinishedConnections()
 {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     for (std::thread::id id : finished_conn_ids_) {
         auto it = std::find_if(conn_threads_.begin(), conn_threads_.end(),
                                [id](const std::thread &t) {
@@ -307,7 +309,7 @@ Server::serveConnection(int fd)
     }
     ::close(fd);
     active_connections_--;
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     finished_conn_ids_.push_back(std::this_thread::get_id());
 }
 

@@ -22,14 +22,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "serve/scheduler.hh"
 #include "sim/config.hh"
 
@@ -98,11 +97,11 @@ class Server
     const ServerOptions &options() const { return opts_; }
 
   private:
-    void acceptLoop();
-    void serveConnection(int fd);
+    void acceptLoop() THERMCTL_EXCLUDES(conn_mutex_);
+    void serveConnection(int fd) THERMCTL_EXCLUDES(conn_mutex_);
     void handleFrame(int fd, MsgType type, const std::string &payload);
     PointReply awaitTicket(Scheduler::Ticket ticket);
-    void reapFinishedConnections();
+    void reapFinishedConnections() THERMCTL_EXCLUDES(conn_mutex_);
 
     ServerOptions opts_;
     std::unique_ptr<Scheduler> sched_;
@@ -114,13 +113,16 @@ class Server
 
     std::atomic<bool> draining_{false};
     std::atomic<bool> stopped_{false};
-    std::mutex drain_mutex_;
-    std::condition_variable drain_cv_;
+    /** Pairs with drain_cv_; the waited state itself is draining_. */
+    Mutex drain_mutex_;
+    CondVar drain_cv_;
 
     std::thread accept_thread_;
-    std::mutex conn_mutex_;
-    std::vector<std::thread> conn_threads_;
-    std::vector<std::thread::id> finished_conn_ids_;
+    Mutex conn_mutex_;
+    std::vector<std::thread> conn_threads_
+        THERMCTL_GUARDED_BY(conn_mutex_);
+    std::vector<std::thread::id> finished_conn_ids_
+        THERMCTL_GUARDED_BY(conn_mutex_);
 
     // Connection/request counters (atomics: touched from many threads).
     std::atomic<std::uint64_t> connections_accepted_{0};

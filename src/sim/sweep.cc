@@ -6,13 +6,13 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/mutex.hh"
 #include "common/serialize.hh"
 
 namespace thermctl
@@ -508,7 +508,7 @@ SweepEngine::run(const SweepSpec &spec) const
 
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::mutex mutex; // serializes telemetry + error capture
+    Mutex mutex; // serializes telemetry + error capture
     std::exception_ptr error;
 
     auto work = [&]() {
@@ -521,7 +521,7 @@ SweepEngine::run(const SweepSpec &spec) const
                 return;
             SweepPoint &pt = points[i];
             if (telemetry_.on_run_start) {
-                std::lock_guard<std::mutex> lock(mutex);
+                MutexLock lock(mutex);
                 telemetry_.on_run_start(pt, n);
             }
             try {
@@ -549,11 +549,11 @@ SweepEngine::run(const SweepSpec &spec) const
                         .count();
                 oc.point = std::move(pt);
                 if (telemetry_.on_run_done) {
-                    std::lock_guard<std::mutex> lock(mutex);
+                    MutexLock lock(mutex);
                     telemetry_.on_run_done(oc, n);
                 }
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex);
+                MutexLock lock(mutex);
                 if (!error)
                     error = std::current_exception();
                 failed.store(true, std::memory_order_relaxed);

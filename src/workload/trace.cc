@@ -1,6 +1,7 @@
 #include "workload/trace.hh"
 
 #include <cstring>
+#include <iterator>
 
 #include "common/logging.hh"
 
@@ -91,6 +92,61 @@ struct TraceHeader
 
 } // namespace
 
+bool
+decodeTrace(std::string_view data, std::vector<MicroOp> &ops,
+            std::string &error)
+{
+    ops.clear();
+    if (data.size() < sizeof(TraceHeader)) {
+        error = "shorter than a trace header";
+        return false;
+    }
+    TraceHeader hdr{};
+    std::memcpy(&hdr, data.data(), sizeof(hdr));
+    if (hdr.magic != kTraceMagic) {
+        error = "bad magic (not a thermctl trace)";
+        return false;
+    }
+    if (hdr.version != kTraceVersion) {
+        error = "unsupported trace version " + std::to_string(hdr.version);
+        return false;
+    }
+    // The byte count is ground truth; the header count merely claims.
+    // Checking count against it before reserving blocks the classic
+    // header bomb: a 16-byte file declaring 2^60 records.
+    const std::size_t body = data.size() - sizeof(TraceHeader);
+    if (body % sizeof(TraceRecord) != 0) {
+        error = "truncated or trailing bytes after the last record";
+        return false;
+    }
+    if (hdr.count != body / sizeof(TraceRecord)) {
+        error = "record count " + std::to_string(hdr.count)
+                + " disagrees with file size ("
+                + std::to_string(body / sizeof(TraceRecord))
+                + " records present)";
+        return false;
+    }
+    if (hdr.count == 0) {
+        error = "empty trace";
+        return false;
+    }
+    ops.reserve(hdr.count);
+    const char *p = data.data() + sizeof(TraceHeader);
+    for (std::uint64_t i = 0; i < hdr.count; ++i) {
+        TraceRecord rec{};
+        std::memcpy(&rec, p + i * sizeof(TraceRecord), sizeof(rec));
+        if (rec.op >= static_cast<std::uint8_t>(OpClass::NumOpClasses)) {
+            error = "record " + std::to_string(i)
+                    + " carries invalid op class "
+                    + std::to_string(rec.op);
+            ops.clear();
+            return false;
+        }
+        ops.push_back(unpack(rec));
+    }
+    return true;
+}
+
 // ----------------------------------------------------------------- writer
 
 TraceWriter::TraceWriter(const std::string &path)
@@ -146,22 +202,13 @@ TraceReader::TraceReader(const std::string &path, bool loop)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         fatal("cannot open trace file for reading: ", path);
-    TraceHeader hdr{};
-    in.read(reinterpret_cast<char *>(&hdr), sizeof(hdr));
-    if (!in || hdr.magic != kTraceMagic)
-        fatal("not a thermctl trace file: ", path);
-    if (hdr.version != kTraceVersion)
-        fatal("unsupported trace version ", hdr.version, " in ", path);
-    ops_.reserve(hdr.count);
-    for (std::uint64_t i = 0; i < hdr.count; ++i) {
-        TraceRecord rec{};
-        in.read(reinterpret_cast<char *>(&rec), sizeof(rec));
-        if (!in)
-            fatal("truncated trace file: ", path);
-        ops_.push_back(unpack(rec));
-    }
-    if (ops_.empty())
-        fatal("empty trace file: ", path);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (in.bad())
+        fatal("I/O error reading trace file: ", path);
+    std::string error;
+    if (!decodeTrace(data, ops_, error))
+        fatal("invalid trace file ", path, ": ", error);
 }
 
 MicroOp

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.hh"
@@ -22,6 +23,22 @@
 
 namespace thermctl
 {
+
+/**
+ * Decode an in-memory trace image (header + packed records) into
+ * micro-ops.
+ *
+ * This is the validation core of TraceReader, split out so untrusted
+ * bytes can be parsed without touching the filesystem (the fuzz
+ * harness drives it directly). Never throws: on any defect — bad
+ * magic/version, record count disagreeing with the byte count, an
+ * out-of-range op class, an empty trace — it returns false and sets
+ * `error` to a one-line diagnostic. The record count is validated
+ * against the actual byte length *before* any allocation, so a hostile
+ * count cannot force an oversized reserve.
+ */
+bool decodeTrace(std::string_view data, std::vector<MicroOp> &ops,
+                 std::string &error);
 
 /** Records micro-ops into a compact binary trace file. */
 class TraceWriter

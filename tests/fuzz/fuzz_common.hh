@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the thermctl fuzz harnesses.
+ *
+ * Each harness defines LLVMFuzzerTestOneInput and builds two ways:
+ *
+ *   THERMCTL_FUZZ=ON (Clang)   linked with -fsanitize=fuzzer into a
+ *                              coverage-guided libFuzzer binary
+ *   plain build (any compiler) linked with replay_main.cc into a
+ *                              corpus-replay binary that runs the
+ *                              committed corpus as an ordinary ctest
+ *
+ * Invariant violations abort via FUZZ_ASSERT so both the fuzzer and the
+ * replay driver (under ASan/UBSan or not) report them as crashes.
+ */
+
+#ifndef THERMCTL_TESTS_FUZZ_FUZZ_COMMON_HH
+#define THERMCTL_TESTS_FUZZ_FUZZ_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+/** Abort (don't throw) so every build mode surfaces the violation. */
+#define FUZZ_ASSERT(cond)                                                  \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n",      \
+                         __FILE__, __LINE__, #cond);                       \
+            std::abort();                                                  \
+        }                                                                  \
+    } while (0)
+
+namespace thermctl::fuzz
+{
+
+/** View over the raw fuzz input. */
+inline std::string_view
+asView(const std::uint8_t *data, std::size_t size)
+{
+    return {reinterpret_cast<const char *>(data), size};
+}
+
+} // namespace thermctl::fuzz
+
+#endif // THERMCTL_TESTS_FUZZ_FUZZ_COMMON_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fuzz harness for the RunResult v2 binary format (sim/sweep.cc).
+ *
+ * The format is version byte + field payload + trailing FNV-1a
+ * checksum, used both as the sweep cache payload and inside serve
+ * frames. Invariants under hostile bytes: never crash; a buffer that
+ * decodes Ok is in canonical form, so re-serializing the decoded value
+ * reproduces the input bit-for-bit (exact consumption is part of the
+ * decode contract).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz_common.hh"
+#include "sim/sweep.hh"
+
+using namespace thermctl;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string_view buffer = fuzz::asView(data, size);
+
+    RunResult result;
+    if (deserializeRunResult(buffer, result) != RunResultDecodeStatus::Ok)
+        return 0;
+
+    const std::string canonical = serializeRunResult(result);
+    FUZZ_ASSERT(canonical == buffer);
+
+    RunResult again;
+    FUZZ_ASSERT(deserializeRunResult(canonical, again)
+                == RunResultDecodeStatus::Ok);
+    FUZZ_ASSERT(again.benchmark == result.benchmark);
+    FUZZ_ASSERT(again.policy == result.policy);
+    return 0;
+}

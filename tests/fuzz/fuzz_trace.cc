@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fuzz harness for the binary micro-op trace parser (workload/trace.cc).
+ *
+ * decodeTrace() is the validation core behind TraceReader: header magic
+ * and version, record count cross-checked against the byte length
+ * before any allocation, and a per-record op-class range check.
+ * Invariants under hostile bytes: never crash, never allocate from an
+ * unvalidated count, and always produce either a non-empty ops vector
+ * (success) or a non-empty diagnostic (failure) — never both empty.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.hh"
+#include "workload/trace.hh"
+
+using namespace thermctl;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::vector<MicroOp> ops;
+    std::string error;
+    const bool ok = decodeTrace(fuzz::asView(data, size), ops, error);
+    if (ok) {
+        FUZZ_ASSERT(!ops.empty());
+        FUZZ_ASSERT(error.empty());
+        for (const MicroOp &op : ops)
+            FUZZ_ASSERT(static_cast<std::uint8_t>(op.op)
+                        < static_cast<std::uint8_t>(OpClass::NumOpClasses));
+    } else {
+        FUZZ_ASSERT(!error.empty());
+        FUZZ_ASSERT(ops.empty());
+    }
+    return 0;
+}

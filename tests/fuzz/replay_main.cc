@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Standalone corpus-replay driver for the fuzz harnesses.
+ *
+ * Linked with a harness's LLVMFuzzerTestOneInput in plain (non-libFuzzer)
+ * builds, it feeds every file named on the command line — directories
+ * are walked recursively, entries sorted for determinism — through the
+ * harness exactly once. This is how the committed regression corpus runs
+ * as an ordinary ctest on any compiler, sanitized or not.
+ *
+ * Exit status: 0 after replaying at least one input, 1 when the corpus
+ * resolved to zero inputs (a misconfigured path must fail the test, not
+ * silently pass), 2 on I/O errors.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return !in.bad();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s CORPUS_FILE_OR_DIR...\n", argv[0]);
+        return 2;
+    }
+
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        std::error_code ec;
+        if (fs::is_directory(argv[i], ec)) {
+            std::vector<fs::path> batch;
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(argv[i], ec))
+                if (entry.is_regular_file())
+                    batch.push_back(entry.path());
+            std::sort(batch.begin(), batch.end());
+            inputs.insert(inputs.end(), batch.begin(), batch.end());
+        } else if (fs::is_regular_file(argv[i], ec)) {
+            inputs.emplace_back(argv[i]);
+        } else {
+            std::fprintf(stderr, "replay: no such file or directory: %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    for (const fs::path &p : inputs) {
+        std::string bytes;
+        if (!readFile(p, bytes)) {
+            std::fprintf(stderr, "replay: cannot read %s\n",
+                         p.string().c_str());
+            return 2;
+        }
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const std::uint8_t *>(bytes.data()),
+            bytes.size());
+    }
+
+    if (inputs.empty()) {
+        std::fprintf(stderr, "replay: corpus resolved to zero inputs\n");
+        return 1;
+    }
+    std::printf("replayed %zu corpus inputs\n", inputs.size());
+    return 0;
+}

@@ -156,6 +156,65 @@ TEST(ByteReader, MixedStreamRoundTripsAndStopsAtEnd)
     EXPECT_TRUE(r.atEnd());
 }
 
+TEST(ByteReader, RemainingTracksConsumptionExactly)
+{
+    ByteWriter w;
+    w.u8(1);
+    w.u32(2);
+    w.u64(3);
+    ByteReader r(w.buffer());
+    EXPECT_EQ(r.remaining(), 13u);
+    r.u8();
+    EXPECT_EQ(r.remaining(), 12u);
+    r.u32();
+    EXPECT_EQ(r.remaining(), 8u);
+    r.u64();
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteReader, RemainingIsZeroOnceFailed)
+{
+    // A failed read must zero remaining(): decoders divide by a
+    // minimum element size to bound untrusted counts, and a stale
+    // nonzero remainder would let a poisoned reader admit a count.
+    ByteWriter w;
+    w.u8(0xff);
+    ByteReader r(w.buffer());
+    r.u32(); // runs past the end: 1 byte available, 4 wanted
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_FALSE(r.atEnd());
+}
+
+TEST(ByteReader, RemainingBoundsHostileCountPrefix)
+{
+    // The allocation-bomb guard pattern used by the protocol decoders:
+    // a count prefix claiming more elements than the remaining bytes
+    // could possibly encode must be rejected before any reserve.
+    ByteWriter w;
+    w.u64(1u << 20); // claims 2^20 strings...
+    w.str("only");   // ...but carries 12 bytes of actual payload
+    ByteReader r(w.buffer());
+    const std::uint64_t n = r.u64();
+    ASSERT_TRUE(r.ok());
+    // Each length-prefixed string needs at least 8 bytes (its u64
+    // length), so the honest maximum is remaining()/8.
+    EXPECT_GT(n, r.remaining() / 8);
+}
+
+TEST(ByteReader, StringReadLeavesExactRemainder)
+{
+    ByteWriter w;
+    w.str("abc");
+    w.u8(7);
+    ByteReader r(w.buffer());
+    EXPECT_EQ(r.str(), "abc");
+    EXPECT_EQ(r.remaining(), 1u);
+    EXPECT_EQ(r.u8(), 7u);
+    EXPECT_TRUE(r.atEnd());
+}
+
 TEST(RunResultCodec, EveryTruncationIsRejected)
 {
     const std::string bytes = serializeRunResult(sampleResult());

@@ -222,5 +222,88 @@ TEST_F(TraceTest, AppendAfterClosePanics)
     EXPECT_THROW(writer.append(MicroOp{}), PanicError);
 }
 
+// decodeTrace is TraceReader's validation core, exposed for in-memory
+// parsing of untrusted bytes (the fuzz harness drives it the same way).
+
+class DecodeTraceTest : public TraceTest
+{
+  protected:
+    /** Write `ops` with the real writer and slurp the file image. */
+    std::string
+    traceImage(int num_ops)
+    {
+        TraceWriter writer(path_.string());
+        for (int i = 0; i < num_ops; ++i) {
+            MicroOp op;
+            op.pc = 0x1000 + 4 * static_cast<Addr>(i);
+            op.op = OpClass::IntAlu;
+            writer.append(op);
+        }
+        writer.close();
+        std::ifstream in(path_, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+};
+
+TEST_F(DecodeTraceTest, ValidImageDecodes)
+{
+    const std::string image = traceImage(5);
+    std::vector<MicroOp> ops;
+    std::string error;
+    ASSERT_TRUE(decodeTrace(image, ops, error)) << error;
+    ASSERT_EQ(ops.size(), 5u);
+    EXPECT_EQ(ops[0].pc, 0x1000u);
+    EXPECT_EQ(ops[4].pc, 0x1010u);
+}
+
+TEST_F(DecodeTraceTest, HeaderCountBombIsRejectedBeforeAllocation)
+{
+    // A 16-byte header claiming 2^60 records: the count cross-check
+    // against the byte length must reject it (the pre-fix behaviour
+    // was a 2^60-element reserve straight from the header).
+    std::string image = traceImage(1).substr(0, 16);
+    const std::uint64_t huge = 1ull << 60;
+    for (int i = 0; i < 8; ++i)
+        image[8 + i] = static_cast<char>(huge >> (8 * i));
+    std::vector<MicroOp> ops;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(image, ops, error));
+    EXPECT_NE(error.find("disagrees"), std::string::npos) << error;
+    EXPECT_TRUE(ops.empty());
+}
+
+TEST_F(DecodeTraceTest, CountFieldMustMatchByteLength)
+{
+    std::string image = traceImage(3);
+    image[8] = static_cast<char>(image[8] + 1); // claim one extra record
+    std::vector<MicroOp> ops;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(image, ops, error));
+}
+
+TEST_F(DecodeTraceTest, OutOfRangeOpClassIsRejected)
+{
+    std::string image = traceImage(2);
+    const std::size_t record_bytes = (image.size() - 16) / 2;
+    // Op-class byte of the second record (offset 30 within the record).
+    image[16 + record_bytes + 30] = '\x7f';
+    std::vector<MicroOp> ops;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(image, ops, error));
+    EXPECT_NE(error.find("op class"), std::string::npos) << error;
+    EXPECT_TRUE(ops.empty()); // no partial output on mid-stream failure
+}
+
+TEST_F(DecodeTraceTest, ForeignVersionIsRejected)
+{
+    std::string image = traceImage(1);
+    image[4] = static_cast<char>(kTraceVersion + 1);
+    std::vector<MicroOp> ops;
+    std::string error;
+    EXPECT_FALSE(decodeTrace(image, ops, error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
 } // namespace
 } // namespace thermctl

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * thermctl-lint CLI: enforce the project's source rules over files and
+ * directory trees.
+ *
+ * Usage:
+ *   thermctl_lint [--allowlist FILE] [--json] [--list-rules] PATH...
+ *
+ * Directories are walked recursively for C++ sources (.hh/.hpp/.h/.cc/
+ * .cpp). Exit status: 0 clean, 1 findings remain after the allowlist,
+ * 2 usage or I/O error. Stale allowlist entries are reported on stderr
+ * but do not fail the run.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace fs = std::filesystem;
+using namespace thermctl::lint; // tool main, not a header
+
+namespace
+{
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".hpp" || ext == ".h" || ext == ".cc"
+           || ext == ".cpp";
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return !in.bad();
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: thermctl_lint [--allowlist FILE] [--json] [--list-rules]"
+          " PATH...\n"
+          "Lints thermctl C++ sources; directories are walked"
+          " recursively.\n"
+          "Exit: 0 clean, 1 findings, 2 usage/I-O error.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    std::string allowlist_path;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const std::string &id : ruleIds())
+                std::cout << id << "\n";
+            return 0;
+        } else if (arg == "--allowlist") {
+            if (i + 1 >= argc) {
+                std::cerr << "thermctl_lint: --allowlist needs a file\n";
+                return 2;
+            }
+            allowlist_path = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "thermctl_lint: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(std::move(arg));
+        }
+    }
+    if (paths.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    Allowlist allow;
+    if (!allowlist_path.empty()) {
+        std::string text;
+        if (!readFile(allowlist_path, text)) {
+            std::cerr << "thermctl_lint: cannot read allowlist '"
+                      << allowlist_path << "'\n";
+            return 2;
+        }
+        std::string error;
+        if (!allow.parse(text, error)) {
+            std::cerr << "thermctl_lint: " << error << "\n";
+            return 2;
+        }
+    }
+
+    // Expand arguments into the ordered file list.
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            std::vector<fs::path> batch;
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(p, ec)) {
+                if (entry.is_regular_file() && isSourceFile(entry.path()))
+                    batch.push_back(entry.path());
+            }
+            std::sort(batch.begin(), batch.end());
+            files.insert(files.end(), batch.begin(), batch.end());
+        } else if (fs::is_regular_file(p, ec)) {
+            files.emplace_back(p);
+        } else {
+            std::cerr << "thermctl_lint: no such file or directory: " << p
+                      << "\n";
+            return 2;
+        }
+    }
+
+    std::vector<Finding> findings;
+    for (const fs::path &file : files) {
+        std::string content;
+        if (!readFile(file, content)) {
+            std::cerr << "thermctl_lint: cannot read " << file << "\n";
+            return 2;
+        }
+        for (Finding &f : lintFile(file.generic_string(), content)) {
+            if (!allow.allows(f))
+                findings.push_back(std::move(f));
+        }
+    }
+
+    for (const std::string &stale : allow.unusedEntries())
+        std::cerr << "thermctl_lint: stale allowlist entry: " << stale
+                  << "\n";
+
+    if (json)
+        std::cout << formatJson(findings);
+    else
+        std::cout << formatText(findings);
+
+    if (!findings.empty()) {
+        std::cerr << "thermctl_lint: " << findings.size() << " finding"
+                  << (findings.size() == 1 ? "" : "s") << " in "
+                  << files.size() << " files\n";
+        return 1;
+    }
+    return 0;
+}
