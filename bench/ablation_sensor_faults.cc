@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: outright sensor failures and the failsafe fallback.
+ *
+ * The paper's controllers trust the sensed temperature; its stated
+ * future work is modeling sensors distinct from the physical truth.
+ * This experiment takes that one step further than ablation_sensors:
+ * the sensor *fails* mid-run (stuck-at-last, stuck-at-value, dropout
+ * with hold — see SensorFaultMode) and the PID scheme runs with and
+ * without the FailsafePolicy wrapper (dtm/failsafe.hh).
+ *
+ * Expected shape: a stuck sensor freezes the controller's view below
+ * the trigger, so plain PID holds full fetch and thermal emergencies
+ * run unchecked — the max temperature column is the tell. The failsafe
+ * detects the implausible stream (too many bit-identical samples) and
+ * latches the paper's fallback, full fetch toggling (duty 0), trading
+ * IPC for a bounded temperature. Moderate dropout-with-hold should ride
+ * through both configurations: held samples are stale but plausible,
+ * and the PID's next fresh sample corrects the small drift.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+
+namespace
+{
+
+struct FaultCase
+{
+    const char *name;
+    const char *label;
+    SensorConfig sensor;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Session session(argc, argv,
+                           "Ablation: sensor failure modes and the "
+                           "failsafe fallback (PID on apsi)",
+                           "Section 4.2 (sensor modeling, future work)");
+
+    auto profile = specProfile("301.apsi");
+    DtmPolicySettings s;
+    s.kind = DtmPolicyKind::None;
+    const auto base = session.runOne(profile, s);
+
+    DtmPolicySettings pid;
+    pid.kind = DtmPolicyKind::PID;
+    DtmPolicySettings guarded = pid;
+    guarded.failsafe = true;
+
+    // fault_start counts sensor samples (one per DTM sampling interval):
+    // 50 samples in, the chip is still heating toward the setpoint, so a
+    // reading frozen there looks safely cool forever.
+    const FaultCase cases[] = {
+        {"healthy", "healthy (paper)", SensorConfig{}},
+        {"stuck-last", "stuck at last reading",
+         SensorConfig{.fault_mode = SensorFaultMode::StuckAtLast,
+                      .fault_start = 50}},
+        {"stuck-cool", "stuck at 60 C (reads cool)",
+         SensorConfig{.fault_mode = SensorFaultMode::StuckAtValue,
+                      .fault_start = 50, .fault_value = 60.0}},
+        {"dropout", "25% dropout with hold",
+         SensorConfig{.fault_mode = SensorFaultMode::DropoutHold,
+                      .fault_start = 50, .dropout_p = 0.25}},
+    };
+
+    SweepSpec spec = session.spec();
+    spec.workload(profile);
+    spec.policy(pid).policy(guarded, "PID+failsafe");
+    for (const auto &c : cases) {
+        const SensorConfig sensor = c.sensor;
+        spec.variant(c.name,
+                     [sensor](SimConfig &cfg) { cfg.dtm.sensor = sensor; });
+    }
+    const SweepResults res = session.run(spec);
+
+    TextTable t;
+    t.setHeader({"sensor fault", "policy", "% of base IPC", "emerg %",
+                 "max T (C)"});
+    for (const auto &c : cases) {
+        for (const char *policy : {"PID", "PID+failsafe"}) {
+            const auto &r = res.at(profile.name, policy, c.name);
+            t.addRow({c.label, policy, formatPercent(r.ipc / base.ipc, 1),
+                      formatPercent(r.emergency_fraction, 3),
+                      formatDouble(r.max_temperature, 2)});
+        }
+    }
+
+    t.print(std::cout);
+    return 0;
+}

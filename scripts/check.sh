@@ -4,8 +4,9 @@
 #   format         clang-format check (skipped when absent)
 #   plain          build + ctest with -Werror and the physics-invariant
 #                  instrumentation compiled in (THERMCTL_INVARIANTS=ON)
-#   lint           thermctl_lint project-rule linter over src/ with the
-#                  committed allowlist (.thermctl-lint-allow)
+#   lint           thermctl_lint project-rule linter over src/, tests/,
+#                  bench/, and tools/ with the committed allowlist
+#                  (.thermctl-lint-allow)
 #   thread-safety  compile with Clang Thread Safety Analysis as errors
 #                  (THERMCTL_THREAD_SAFETY=ON; skipped when clang++ is
 #                  absent)
@@ -16,6 +17,10 @@
 #                  build) under concurrent clients — a duplicate pair
 #                  must coalesce, client output must be bit-identical to
 #                  a direct thermctl_run, and SIGTERM must drain cleanly
+#   chaos-smoke    randomized chaos soak (ASan+UBSan build): serve +
+#                  retrying clients under a seeded fault plan; every
+#                  request must end in a bit-correct reply or a typed
+#                  error, never a hang; the seed is echoed on failure
 #   tsan           TSan build + parallel bench smoke: the sweep engine's
 #                  worker pool and warm-cache read path under
 #                  -fsanitize=thread with THERMCTL_FAST=1
@@ -41,7 +46,7 @@ cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 base="build-check"
 
-all_stages="format plain lint thread-safety asan serve tsan fuzz-replay tidy"
+all_stages="format plain lint thread-safety asan serve chaos-smoke tsan fuzz-replay tidy"
 selected="all"
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -84,12 +89,14 @@ if want plain; then
 fi
 
 if want lint; then
-    stage "project-rule lint (thermctl_lint over src/)"
+    stage "project-rule lint (thermctl_lint over the source tree)"
     cmake -B "${base}/plain" -S . \
         -DTHERMCTL_WERROR=ON -DTHERMCTL_INVARIANTS=ON >/dev/null
     cmake --build "${base}/plain" -j "${jobs}" --target thermctl_lint
+    # tests/, bench/, and tools/ are included so fault-point-scope can
+    # see probes that leak outside src/.
     "${base}/plain/tools/thermctl_lint" \
-        --allowlist .thermctl-lint-allow src/
+        --allowlist .thermctl-lint-allow src/ tests/ bench/ tools/
 fi
 
 if want thread-safety; then
@@ -171,6 +178,25 @@ if want serve; then
     cat "${smoke_dir}/serve.log"
     rm -rf "${smoke_dir}"
     trap - EXIT
+fi
+
+if want chaos-smoke; then
+    stage "chaos smoke (ASan+UBSan soak under a randomized fault plan)"
+    cmake -B "${base}/asan" -S . \
+        -DTHERMCTL_INVARIANTS=ON \
+        "-DTHERMCTL_SANITIZE=address;undefined" >/dev/null
+    cmake --build "${base}/asan" -j "${jobs}" --target chaos_soak
+    # Fresh seed every run: the soak is deterministic per seed, so a
+    # failure is replayable with the seed echoed below.
+    chaos_seed="$(date +%s)"
+    if ! "${base}/asan/tests/chaos/chaos_soak" \
+            "--seed=${chaos_seed}" --clients=3 --requests=8 \
+            --max-wall=300; then
+        echo "chaos-smoke failed; replay with:" >&2
+        echo "  ${base}/asan/tests/chaos/chaos_soak" \
+             "--seed=${chaos_seed} --clients=3 --requests=8" >&2
+        exit 1
+    fi
 fi
 
 if want tsan; then

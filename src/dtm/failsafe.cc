@@ -1,0 +1,90 @@
+#include "dtm/failsafe.hh"
+
+#include <cmath>
+
+namespace thermctl
+{
+
+FailsafePolicy::FailsafePolicy(std::unique_ptr<DtmPolicy> inner,
+                               const FailsafeConfig &cfg)
+    : inner_(std::move(inner)), cfg_(cfg)
+{
+}
+
+namespace
+{
+
+bool
+identical(const TemperatureVector &a, const TemperatureVector &b)
+{
+    if (a.value.size() != b.value.size())
+        return false;
+    for (std::size_t i = 0; i < a.value.size(); i++) {
+        if (a.value[i].value() != b.value[i].value())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+FailsafePolicy::inspect(const TemperatureVector &sensed)
+{
+    // The check:: primitives panic on violation; the failsafe exists to
+    // keep running through bad data, so it uses plain predicates.
+    for (const Celsius &t : sensed.value) {
+        if (!std::isfinite(t.value()))
+            return "non-finite sensor reading";
+        if (t < cfg_.min_plausible)
+            return "reading below plausible range";
+        if (t > cfg_.max_plausible)
+            return "reading above plausible range";
+    }
+    if (have_prev_ && identical(sensed, prev_)) {
+        identical_run_++;
+        if (cfg_.stuck_samples > 0 && identical_run_ >= cfg_.stuck_samples)
+            return "sensor stuck (" + std::to_string(identical_run_)
+                + " identical consecutive samples)";
+    } else {
+        identical_run_ = 0;
+    }
+    prev_ = sensed;
+    have_prev_ = true;
+    return {};
+}
+
+DtmCommand
+FailsafePolicy::onSample(const TemperatureVector &sensed, Cycle now)
+{
+    if (!tripped_) {
+        reason_ = inspect(sensed);
+        tripped_ = !reason_.empty();
+    }
+    if (tripped_) {
+        // Paper fallback: full fetch toggling. Duty 0 bounds the
+        // temperature regardless of what the sensors claim.
+        DtmCommand fallback;
+        fallback.duty = 0.0;
+        return fallback;
+    }
+    return inner_->onSample(sensed, now);
+}
+
+std::string
+FailsafePolicy::name() const
+{
+    return inner_->name() + "+failsafe";
+}
+
+void
+FailsafePolicy::reset()
+{
+    tripped_ = false;
+    reason_.clear();
+    have_prev_ = false;
+    identical_run_ = 0;
+    inner_->reset();
+}
+
+} // namespace thermctl

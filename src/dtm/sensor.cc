@@ -6,16 +6,18 @@ namespace thermctl
 {
 
 SensorBank::SensorBank(const SensorConfig &cfg)
-    : cfg_(cfg), rng_(cfg.seed)
+    : cfg_(cfg), rng_(cfg.seed), fault_rng_(Rng(cfg.seed).fork(0xfa417))
 {
 }
 
 TemperatureVector
 SensorBank::read(const TemperatureVector &truth)
 {
+    const std::uint64_t sample = samples_++;
     TemperatureVector out = truth;
     const bool ideal = cfg_.offset.value() == 0.0
-        && cfg_.noise_sigma.value() == 0.0 && cfg_.quantum.value() == 0.0;
+        && cfg_.noise_sigma.value() == 0.0 && cfg_.quantum.value() == 0.0
+        && cfg_.fault_mode == SensorFaultMode::None;
     if (ideal)
         return out;
     for (Celsius &t : out.value) {
@@ -24,6 +26,34 @@ SensorBank::read(const TemperatureVector &truth)
             t += rng_.gaussian(0.0, cfg_.noise_sigma);
         if (cfg_.quantum.value() > 0.0)
             t = std::round(t / cfg_.quantum) * cfg_.quantum.value();
+    }
+    if (cfg_.fault_mode == SensorFaultMode::None
+        || sample < cfg_.fault_start)
+        return out;
+    switch (cfg_.fault_mode) {
+      case SensorFaultMode::StuckAtLast:
+        // Freeze at the first reading taken once the fault engages;
+        // DTM keeps seeing a plausible but never-changing vector.
+        if (!have_held_) {
+            held_ = out;
+            have_held_ = true;
+        }
+        return held_;
+      case SensorFaultMode::StuckAtValue:
+        for (Celsius &t : out.value)
+            t = cfg_.fault_value;
+        return out;
+      case SensorFaultMode::DropoutHold:
+        // A dropped sample re-delivers the last successful reading.
+        // The dropout pattern has its own stream so it is identical
+        // whether or not noise/quantization are also configured.
+        if (have_held_ && fault_rng_.chance(cfg_.dropout_p))
+            return held_;
+        held_ = out;
+        have_held_ = true;
+        return out;
+      case SensorFaultMode::None:
+        break;
     }
     return out;
 }

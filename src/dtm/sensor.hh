@@ -6,8 +6,11 @@
  * future work is modeling sensor behaviour distinct from true physical
  * temperature). thermctl implements that extension: sensors can add a
  * static offset, Gaussian noise, and quantization to the true block
- * temperature; the defaults are ideal (zero error), matching the paper's
- * assumption, and bench/ablation_sensors explores the non-ideal cases.
+ * temperature, and can *fail* outright — stuck-at-last, stuck-at-value,
+ * or dropout-with-hold (see SensorFaultMode). The defaults are ideal
+ * (zero error, no fault), matching the paper's assumption;
+ * bench/ablation_sensors explores the non-ideal cases and
+ * bench/ablation_sensor_faults the failure modes under FailsafePolicy.
  */
 
 #ifndef THERMCTL_DTM_SENSOR_HH
@@ -19,6 +22,19 @@
 namespace thermctl
 {
 
+/** Outright sensor failure modes (beyond offset/noise/quantization). */
+enum class SensorFaultMode : std::uint32_t
+{
+    None = 0,
+    /** Readings freeze at the first post-fault value. */
+    StuckAtLast = 1,
+    /** Every block reads a constant fault_value. */
+    StuckAtValue = 2,
+    /** Each sample drops with probability dropout_p; the bank holds
+        (re-delivers) the last successful reading. */
+    DropoutHold = 3,
+};
+
 /** Sensor non-idealities (defaults: ideal). */
 struct SensorConfig
 {
@@ -26,6 +42,14 @@ struct SensorConfig
     Celsius noise_sigma = 0.0; ///< Gaussian noise per reading
     Celsius quantum = 0.0;     ///< quantization step (0 = continuous)
     std::uint64_t seed = 0x5e5e5e5e;
+
+    SensorFaultMode fault_mode = SensorFaultMode::None;
+    /** Sample index (not cycle) at which the fault engages. */
+    std::uint64_t fault_start = 0;
+    /** DropoutHold: per-sample drop probability. */
+    double dropout_p = 0.0;
+    /** StuckAtValue: the constant every block reads. */
+    Celsius fault_value = 0.0;
 };
 
 /** Reads the per-block temperatures through the sensor model. */
@@ -42,6 +66,11 @@ class SensorBank
   private:
     SensorConfig cfg_;
     Rng rng_;
+    Rng fault_rng_; ///< separate stream: dropout pattern is stable
+                    ///< whether or not noise is also configured
+    std::uint64_t samples_ = 0;
+    TemperatureVector held_{};
+    bool have_held_ = false;
 };
 
 } // namespace thermctl

@@ -91,6 +91,17 @@ ServeClient::connect(const std::string &endpoint)
     return connectUnix(endpoint);
 }
 
+ServeClient
+ServeClient::tryConnect(const std::string &endpoint, std::string &error)
+{
+    try {
+        return connect(endpoint);
+    } catch (const FatalError &e) {
+        error = e.what();
+        return ServeClient();
+    }
+}
+
 ServeClient::~ServeClient()
 {
     if (fd_ >= 0)
@@ -108,30 +119,63 @@ ServeClient::operator=(ServeClient &&other) noexcept
     return *this;
 }
 
-std::pair<MsgType, std::string>
-ServeClient::roundTrip(MsgType type, std::string_view payload)
+void
+ServeClient::disconnect()
 {
-    if (fd_ < 0)
-        fatal("client: not connected");
-    if (!writeFrame(fd_, type, payload))
-        fatal("client: send failed (server gone?)");
-    MsgType reply_type;
-    std::string reply;
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServeClient::tryRoundTrip(MsgType type, std::string_view payload,
+                          MsgType &reply_type, std::string &reply,
+                          std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, type, payload)) {
+        error = "send failed (server gone?)";
+        disconnect();
+        return false;
+    }
     FrameStatus fs = FrameStatus::Ok;
     switch (readFrame(fd_, reply_type, reply, &fs)) {
       case ReadStatus::Ok:
-        return {reply_type, std::move(reply)};
+        return true;
       case ReadStatus::Eof:
-        fatal("client: server closed the connection before replying");
+        error = "server closed the connection before replying";
+        disconnect();
+        return false;
       case ReadStatus::Transport:
-        fatal("client: transport error reading reply");
+        error = "transport error reading reply";
+        disconnect();
+        return false;
       case ReadStatus::BadFrame:
+        // Not a transport blip: the peer speaks a different protocol.
+        // Retrying cannot help, so this stays fatal.
+        disconnect();
         fatal("client: malformed reply frame (",
               fs == FrameStatus::BadVersion ? "wire version mismatch"
                                             : "bad header",
               ")");
     }
-    fatal("client: unreachable read status");
+    error = "unreachable read status";
+    return false;
+}
+
+std::pair<MsgType, std::string>
+ServeClient::roundTrip(MsgType type, std::string_view payload)
+{
+    MsgType reply_type;
+    std::string reply;
+    std::string error;
+    if (!tryRoundTrip(type, payload, reply_type, reply, error))
+        fatal("client: ", error);
+    return {reply_type, std::move(reply)};
 }
 
 namespace
@@ -155,7 +199,16 @@ errorToPoint(const std::string &payload)
 PointReply
 ServeClient::run(const RunRequest &req)
 {
-    auto [type, payload] = roundTrip(MsgType::RunRequest, req.encode());
+    MsgType type;
+    std::string payload;
+    std::string error;
+    if (!tryRoundTrip(MsgType::RunRequest, req.encode(), type, payload,
+                      error)) {
+        PointReply p;
+        p.error = ServeError::Transport;
+        p.message = error;
+        return p;
+    }
     if (type == MsgType::ErrorReply)
         return errorToPoint(payload);
     if (type != MsgType::RunReply)
@@ -169,8 +222,18 @@ ServeClient::run(const RunRequest &req)
 SweepReply
 ServeClient::sweep(const SweepRequest &req)
 {
-    auto [type, payload] =
-        roundTrip(MsgType::SweepRequest, req.encode());
+    MsgType type;
+    std::string payload;
+    std::string error;
+    if (!tryRoundTrip(MsgType::SweepRequest, req.encode(), type, payload,
+                      error)) {
+        SweepReply reply;
+        PointReply p;
+        p.error = ServeError::Transport;
+        p.message = error;
+        reply.points.push_back(std::move(p));
+        return reply;
+    }
     if (type == MsgType::ErrorReply) {
         SweepReply reply;
         reply.points.push_back(errorToPoint(payload));

@@ -4,11 +4,14 @@
  *
  * A ServeClient owns one connected socket and issues one request at a
  * time (the protocol is strictly request/reply per connection; open
- * more clients for concurrency). Transport and framing failures throw
- * FatalError; server-side failures come back as typed ServeError codes
- * inside the replies, so callers can distinguish "the server refused
- * this request" (Overloaded, Draining, BadRequest, ...) from "the
- * connection broke".
+ * more clients for concurrency). Server-side failures come back as
+ * typed ServeError codes inside the replies; transport failures on the
+ * data plane (run/sweep) come back the same way, as
+ * ServeError::Transport, with the socket closed — callers distinguish
+ * "the server refused this request" (Overloaded, Draining, ...) from
+ * "the connection broke" and can reconnect (see serve/retry.hh for the
+ * retrying wrapper). Control-plane calls (cacheQuery/stats/drain) and
+ * protocol violations still throw FatalError.
  */
 
 #ifndef THERMCTL_SERVE_CLIENT_HH
@@ -37,6 +40,17 @@ class ServeClient
      */
     static ServeClient connect(const std::string &endpoint);
 
+    /**
+     * Non-fatal connect: on failure returns a disconnected client and
+     * fills `error`. Reconnection paths use this so a flapping server
+     * is a retryable condition, not process death.
+     */
+    static ServeClient tryConnect(const std::string &endpoint,
+                                  std::string &error);
+
+    /** A disconnected client; connect() or tryConnect() to get one. */
+    ServeClient() = default;
+
     ~ServeClient();
     ServeClient(ServeClient &&other) noexcept
         : fd_(std::exchange(other.fd_, -1))
@@ -46,13 +60,20 @@ class ServeClient
     ServeClient(const ServeClient &) = delete;
     ServeClient &operator=(const ServeClient &) = delete;
 
+    /** @return true while the socket is open and usable. */
+    bool connected() const { return fd_ >= 0; }
+
     /**
      * Execute one point on the server. Server-side refusals (overload,
-     * drain, unknown names, deadline) return as PointReply.error.
+     * drain, unknown names, deadline) return as PointReply.error; a
+     * broken connection returns ServeError::Transport and disconnects.
      */
     PointReply run(const RunRequest &req);
 
-    /** Execute a benchmarks x policies grid; replies in grid order. */
+    /**
+     * Execute a benchmarks x policies grid; replies in grid order.
+     * A broken connection yields a single Transport point.
+     */
     SweepReply sweep(const SweepRequest &req);
 
     /** Probe the server's result cache without simulating. */
@@ -73,6 +94,19 @@ class ServeClient
     /** One request/reply exchange; throws FatalError on transport. */
     std::pair<MsgType, std::string> roundTrip(MsgType type,
                                               std::string_view payload);
+
+    /**
+     * One request/reply exchange that reports transport failures by
+     * returning false (with a human-readable cause in `error`) and
+     * closing the socket, instead of throwing. Framing violations —
+     * a server speaking another protocol — still throw.
+     */
+    bool tryRoundTrip(MsgType type, std::string_view payload,
+                      MsgType &reply_type, std::string &reply,
+                      std::string &error);
+
+    /** Close the socket (broken connections are not reusable). */
+    void disconnect();
 
     int fd_ = -1;
 };

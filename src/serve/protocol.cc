@@ -3,9 +3,12 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/serialize.hh"
+#include "fault/fault.hh"
 #include "sim/sweep.hh"
 
 namespace thermctl::serve
@@ -76,6 +79,7 @@ encodePointReply(ByteWriter &w, const PointReply &p)
     w.u8(p.cache_hit ? 1 : 0);
     w.u8(p.coalesced ? 1 : 0);
     w.f64(p.server_ms);
+    w.u32(p.retry_after_ms);
     if (p.error == ServeError::None)
         w.str(serializeRunResult(p.result));
 }
@@ -84,13 +88,14 @@ bool
 decodePointReply(ByteReader &r, PointReply &p)
 {
     const std::uint8_t code = r.u8();
-    if (code > static_cast<std::uint8_t>(ServeError::Internal))
+    if (code > static_cast<std::uint8_t>(ServeError::Stalled))
         return false;
     p.error = static_cast<ServeError>(code);
     p.message = r.str();
     p.cache_hit = r.u8() != 0;
     p.coalesced = r.u8() != 0;
     p.server_ms = r.f64();
+    p.retry_after_ms = r.u32();
     if (!r.ok())
         return false;
     if (p.error == ServeError::None) {
@@ -109,7 +114,20 @@ readFully(int fd, char *dst, std::size_t n, bool &saw_bytes)
 {
     std::size_t got = 0;
     while (got < n) {
-        const ssize_t r = ::recv(fd, dst + got, n - got, 0);
+        const auto fp = THERMCTL_FAULT_POINT("serve.sock.read");
+        if (fp.abort()) {
+            errno = ECONNRESET;
+            return false;
+        }
+        if (fp.eintr())
+            continue; // as if ::recv returned -1/EINTR
+        if (fp.stall()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fp.stall_ms));
+        }
+        // ShortIo: deliver the bytes one at a time.
+        const std::size_t want = fp.shortIo() ? 1 : n - got;
+        const ssize_t r = ::recv(fd, dst + got, want, 0);
         if (r == 0)
             return false;
         if (r < 0) {
@@ -156,6 +174,8 @@ serveErrorName(ServeError e)
       case ServeError::DeadlineExceeded: return "deadline-exceeded";
       case ServeError::Draining: return "draining";
       case ServeError::Internal: return "internal";
+      case ServeError::Transport: return "transport";
+      case ServeError::Stalled: return "stalled";
       default: return "?";
     }
 }
@@ -374,6 +394,7 @@ StatsReply::encode() const
     w.u64(rejected_overload);
     w.u64(rejected_deadline);
     w.u64(failed);
+    w.u64(stalled);
     w.u64(queue_depth);
     w.u64(queue_high_water);
     w.u64(connections_accepted);
@@ -402,6 +423,7 @@ StatsReply::decode(std::string_view payload, StatsReply &out)
     out.rejected_overload = r.u64();
     out.rejected_deadline = r.u64();
     out.failed = r.u64();
+    out.stalled = r.u64();
     out.queue_depth = r.u64();
     out.queue_high_water = r.u64();
     out.connections_accepted = r.u64();
@@ -445,7 +467,7 @@ ErrorReply::decode(std::string_view payload, ErrorReply &out)
 {
     ByteReader r(payload);
     const std::uint8_t code = r.u8();
-    if (code > static_cast<std::uint8_t>(ServeError::Internal))
+    if (code > static_cast<std::uint8_t>(ServeError::Stalled))
         return false;
     out.code = static_cast<ServeError>(code);
     out.message = r.str();
@@ -460,8 +482,17 @@ writeFrame(int fd, MsgType type, std::string_view payload)
     const std::string frame = encodeFrame(type, payload);
     std::size_t sent = 0;
     while (sent < frame.size()) {
+        const auto fp = THERMCTL_FAULT_POINT("serve.sock.write");
+        if (fp.abort())
+            return false; // as if the peer reset mid-frame
+        if (fp.stall()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fp.stall_ms));
+        }
+        // ShortIo: push the frame out one byte per ::send call.
+        const std::size_t chunk = fp.shortIo() ? 1 : frame.size() - sent;
         const ssize_t w = ::send(fd, frame.data() + sent,
-                                 frame.size() - sent, MSG_NOSIGNAL);
+                                 chunk, MSG_NOSIGNAL);
         if (w < 0) {
             if (errno == EINTR)
                 continue;

@@ -35,7 +35,7 @@ namespace thermctl::serve
 {
 
 /** Wire protocol revision; bump on any frame or payload layout change. */
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /** Frame magic preceding every message. */
 inline constexpr std::string_view kFrameMagic = "TSRV";
@@ -76,6 +76,8 @@ enum class ServeError : std::uint8_t
     DeadlineExceeded = 4, ///< request expired before dispatch
     Draining = 5,         ///< server is shutting down gracefully
     Internal = 6,         ///< simulation raised an unexpected error
+    Transport = 7,        ///< client-side: connection failed or broke
+    Stalled = 8,          ///< watchdog: batch dispatch stopped progressing
 };
 
 /** @return printable error name ("overloaded", ...). */
@@ -184,6 +186,8 @@ struct PointReply
     bool cache_hit = false; ///< served from the on-disk result cache
     bool coalesced = false; ///< piggybacked on an identical in-flight run
     double server_ms = 0.0; ///< queue + simulation time on the server
+    /** Overloaded only: server-computed backoff hint for the retry. */
+    std::uint32_t retry_after_ms = 0;
 };
 
 struct RunReply
@@ -225,6 +229,7 @@ struct StatsReply
     std::uint64_t rejected_overload = 0;
     std::uint64_t rejected_deadline = 0;
     std::uint64_t failed = 0;           ///< Internal errors
+    std::uint64_t stalled = 0;          ///< watchdog-failed dispatches
     std::uint64_t queue_depth = 0;
     std::uint64_t queue_high_water = 0;
     std::uint64_t connections_accepted = 0;

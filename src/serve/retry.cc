@@ -1,0 +1,183 @@
+#include "serve/retry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace thermctl::serve
+{
+
+BackoffPolicy::BackoffPolicy(const BackoffConfig &config)
+    : config_(config), rng_(config.seed)
+{
+}
+
+BackoffPolicy::Decision
+BackoffPolicy::next(std::uint64_t elapsed_ms,
+                    std::uint32_t retry_after_ms)
+{
+    if (attempts_ >= std::max(1u, config_.max_attempts))
+        return {false, 0};
+
+    // Decorrelated jitter (AWS architecture blog): each sleep is drawn
+    // from uniform[base, 3 * previous), clamped to the cap. Unlike
+    // plain exponential-with-jitter this decorrelates concurrent
+    // clients quickly while still growing geometrically in expectation.
+    const double base = static_cast<double>(std::max(1u, config_.base_ms));
+    const double prev =
+        prev_sleep_ms_ > 0 ? static_cast<double>(prev_sleep_ms_) : base;
+    double sleep = rng_.uniform(base, std::max(base + 1.0, prev * 3.0));
+    sleep = std::min(sleep, static_cast<double>(config_.cap_ms));
+    // A server retry-after hint floors the sleep: the server knows its
+    // backlog better than our local guess does.
+    sleep = std::max(sleep, static_cast<double>(retry_after_ms));
+    sleep = std::min(sleep, static_cast<double>(config_.cap_ms));
+
+    auto sleep_ms = static_cast<std::uint32_t>(sleep);
+    if (config_.deadline_ms != 0
+        && elapsed_ms + sleep_ms >= config_.deadline_ms) {
+        // The budget cannot fit the sleep plus any useful attempt:
+        // report exhaustion now rather than sleeping into the deadline.
+        return {false, 0};
+    }
+
+    attempts_++;
+    prev_sleep_ms_ = sleep_ms;
+    return {true, sleep_ms};
+}
+
+RetryingClient::RetryingClient(std::string endpoint,
+                               const BackoffConfig &config)
+    : endpoint_(std::move(endpoint)), config_(config)
+{
+}
+
+bool
+RetryingClient::retryable(ServeError error)
+{
+    return error == ServeError::Transport
+           || error == ServeError::Overloaded;
+}
+
+bool
+RetryingClient::ensureConnected(std::string &error)
+{
+    if (client_.connected())
+        return true;
+    client_ = ServeClient::tryConnect(endpoint_, error);
+    return client_.connected();
+}
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedMs(Clock::time_point since)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+/** Exhausted budget: wrap the last failure in a DeadlineExceeded. */
+PointReply
+budgetExhausted(const PointReply &last, std::uint32_t attempts)
+{
+    PointReply p;
+    p.error = ServeError::DeadlineExceeded;
+    p.message = "retry budget exhausted after "
+                + std::to_string(attempts) + " attempt(s); last error: "
+                + serveErrorName(last.error)
+                + (last.message.empty() ? "" : " (" + last.message + ")");
+    return p;
+}
+
+} // namespace
+
+PointReply
+RetryingClient::run(const RunRequest &req)
+{
+    BackoffConfig config = config_;
+    config.seed = Rng(config_.seed).fork(calls_++).next();
+    BackoffPolicy policy(config);
+    const auto started = Clock::now();
+
+    PointReply last;
+    for (;;) {
+        attempts_total_++;
+        std::string error;
+        if (ensureConnected(error)) {
+            last = client_.run(req);
+        } else {
+            last.error = ServeError::Transport;
+            last.message = error;
+        }
+        if (!retryable(last.error))
+            return last;
+
+        const auto d =
+            policy.next(elapsedMs(started), last.retry_after_ms);
+        if (!d.retry) {
+            // With retries disabled (max_attempts=1) behave exactly
+            // like the plain client: surface the typed error as-is.
+            return policy.attempts() <= 1
+                       ? last
+                       : budgetExhausted(last, policy.attempts());
+        }
+        if (d.sleep_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(d.sleep_ms));
+        }
+    }
+}
+
+SweepReply
+RetryingClient::sweep(const SweepRequest &req)
+{
+    BackoffConfig config = config_;
+    config.seed = Rng(config_.seed).fork(calls_++).next();
+    BackoffPolicy policy(config);
+    const auto started = Clock::now();
+
+    SweepReply last;
+    for (;;) {
+        attempts_total_++;
+        std::string error;
+        if (ensureConnected(error)) {
+            last = client_.sweep(req);
+        } else {
+            last.points.clear();
+            PointReply p;
+            p.error = ServeError::Transport;
+            p.message = error;
+            last.points.push_back(std::move(p));
+        }
+        // A sweep is retried as a unit only when the whole reply is one
+        // typed transport/overload failure; per-point errors inside a
+        // delivered grid are the caller's to inspect.
+        const bool whole_failure =
+            last.points.size() == 1 && retryable(last.points[0].error);
+        if (!whole_failure)
+            return last;
+
+        const auto d = policy.next(elapsedMs(started),
+                                   last.points[0].retry_after_ms);
+        if (!d.retry) {
+            if (policy.attempts() <= 1)
+                return last;
+            SweepReply out;
+            out.points.push_back(
+                budgetExhausted(last.points[0], policy.attempts()));
+            return out;
+        }
+        if (d.sleep_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(d.sleep_ms));
+        }
+    }
+}
+
+} // namespace thermctl::serve

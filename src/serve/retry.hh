@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Client-side resilience: bounded retries with exponential backoff,
+ * decorrelated jitter, and an end-to-end deadline budget.
+ *
+ * Retrying a simulation request is safe because requests are
+ * *idempotent by construction*: a request's identity is its sweep
+ * digest (sweepConfigDigest over the fully resolved configuration), a
+ * run is a pure function of that configuration, and the server
+ * coalesces and caches by the same digest. Sending the same request
+ * twice therefore cannot produce a different answer or duplicate work
+ * that matters — the worst case is one extra cache hit.
+ *
+ * Only two failure classes are retried:
+ *  - Transport: the connection broke or could not be established; the
+ *    request may or may not have executed, which is exactly the case
+ *    idempotency exists for.
+ *  - Overloaded: the server said "queue full"; its retry-after hint
+ *    (PointReply::retry_after_ms) becomes the floor of the next sleep.
+ *
+ * Every other error (BadRequest, Draining, DeadlineExceeded, Stalled,
+ * Internal, ...) is returned to the caller unchanged — retrying a
+ * request the server *answered* with a terminal verdict just burns the
+ * budget.
+ *
+ * The backoff sequence is deterministic given BackoffConfig::seed, so
+ * chaos runs replay exactly (see src/fault/fault.hh).
+ */
+
+#ifndef THERMCTL_SERVE_RETRY_HH
+#define THERMCTL_SERVE_RETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+
+namespace thermctl::serve
+{
+
+/** Knobs of the retry/backoff policy. */
+struct BackoffConfig
+{
+    std::uint32_t base_ms = 50;   ///< first sleep ~uniform[base, 3*base)
+    std::uint32_t cap_ms = 2000;  ///< per-sleep ceiling
+    std::uint32_t max_attempts = 5; ///< total tries (1 = no retries)
+    /** End-to-end budget across attempts + sleeps; 0 = unbounded. */
+    std::uint64_t deadline_ms = 0;
+    std::uint64_t seed = 0x7e7217ULL; ///< jitter stream seed
+};
+
+/**
+ * Decorrelated-jitter backoff under a deadline budget. Pure policy
+ * math — no sockets, no clocks; the caller reports elapsed time and
+ * receives sleep durations, which makes the sequence unit-testable and
+ * deterministic per seed.
+ */
+class BackoffPolicy
+{
+  public:
+    explicit BackoffPolicy(const BackoffConfig &config);
+
+    /** Verdict for one failed attempt. */
+    struct Decision
+    {
+        bool retry = false;        ///< false: budget/attempts exhausted
+        std::uint32_t sleep_ms = 0; ///< wait before the next attempt
+    };
+
+    /**
+     * Decide after a failed attempt. `elapsed_ms` is wall time since
+     * the first attempt started; `retry_after_ms` (a server hint, 0 =
+     * none) becomes the floor of the computed sleep. Never returns a
+     * sleep that would overrun the deadline budget: once the budget
+     * cannot fit another sleep + attempt, the answer is {false, 0} —
+     * no final pointless sleep.
+     */
+    Decision next(std::uint64_t elapsed_ms,
+                  std::uint32_t retry_after_ms = 0);
+
+    /** Attempts granted so far (including the first). */
+    std::uint32_t attempts() const { return attempts_; }
+
+  private:
+    BackoffConfig config_;
+    Rng rng_;
+    std::uint32_t attempts_ = 1; ///< the first attempt is underway
+    std::uint32_t prev_sleep_ms_ = 0;
+};
+
+/**
+ * ServeClient wrapper that reconnects and retries idempotent requests
+ * (run/sweep) per BackoffPolicy. Each call gets its own deterministic
+ * jitter stream (config seed forked by call index), so a process's
+ * retry timing replays from one seed.
+ */
+class RetryingClient
+{
+  public:
+    RetryingClient(std::string endpoint, const BackoffConfig &config);
+
+    /**
+     * run() with retries. On exhaustion the last typed failure is
+     * returned; when the deadline budget ran out mid-retry, the error
+     * is DeadlineExceeded with the underlying cause in the message.
+     */
+    PointReply run(const RunRequest &req);
+
+    /** sweep() with retries (the whole grid is retried as a unit). */
+    SweepReply sweep(const SweepRequest &req);
+
+    /** Total attempts across all calls (telemetry). */
+    std::uint64_t attemptsTotal() const { return attempts_total_; }
+
+  private:
+    /** @return true when `error` is worth another attempt. */
+    static bool retryable(ServeError error);
+
+    bool ensureConnected(std::string &error);
+
+    std::string endpoint_;
+    BackoffConfig config_;
+    ServeClient client_;
+    std::uint64_t calls_ = 0;
+    std::uint64_t attempts_total_ = 0;
+};
+
+} // namespace thermctl::serve
+
+#endif // THERMCTL_SERVE_RETRY_HH

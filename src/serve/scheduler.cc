@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/logging.hh"
+#include "common/mutex.hh"
+#include "fault/fault.hh"
 #include "sim/policy_factory.hh"
 #include "workload/spec_profiles.hh"
 
@@ -21,6 +24,12 @@ struct Scheduler::Pending
     bool has_deadline = false;
     std::promise<OutcomePtr> promise;
     std::shared_future<OutcomePtr> future;
+
+    // Guarded by Scheduler::mutex_ (annotation impossible on an inner
+    // struct member referring to an instance mutex).
+    bool dispatched = false; ///< handed to runBatch by takeBatch()
+    bool fulfilled = false;  ///< promise set (by finish or watchdog)
+    Clock::time_point dispatch_started;
 };
 
 ResolvedPoint
@@ -68,11 +77,13 @@ groupDigest(const ResolvedPoint &pt)
 
 /** @return an immediately resolved ticket carrying a typed error. */
 Scheduler::Ticket
-rejectedTicket(ServeError code, std::string message)
+rejectedTicket(ServeError code, std::string message,
+               std::uint32_t retry_after_ms = 0)
 {
     auto outcome = std::make_shared<Scheduler::Outcome>();
     outcome->error = code;
     outcome->message = std::move(message);
+    outcome->retry_after_ms = retry_after_ms;
     std::promise<Scheduler::OutcomePtr> promise;
     promise.set_value(std::move(outcome));
     Scheduler::Ticket t;
@@ -91,6 +102,8 @@ Scheduler::Scheduler(const Options &opts)
     dispatchers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
         dispatchers_.emplace_back([this] { dispatchLoop(); });
+    if (opts_.watchdog_ms > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 Scheduler::~Scheduler()
@@ -119,10 +132,21 @@ Scheduler::submit(const ResolvedPoint &point, std::uint64_t deadline_ms)
 
     if (queue_.size() >= opts_.max_queue) {
         counters_.rejected_overload++;
+        // Retry-after hint: roughly when the backlog ahead of a retry
+        // should have cleared — mean point latency scaled by the queue
+        // per dispatcher, clamped to something a client can live with.
+        double hint_ms = 100.0;
+        if (latency_ms_.count() > 0) {
+            hint_ms = latency_ms_.mean()
+                      * (1.0 + static_cast<double>(queue_.size()))
+                      / std::max(1u, opts_.dispatchers);
+        }
+        hint_ms = std::clamp(hint_ms, 25.0, 5000.0);
         return rejectedTicket(
             ServeError::Overloaded,
             "request queue full (" + std::to_string(opts_.max_queue)
-                + " points); retry later");
+                + " points); retry later",
+            static_cast<std::uint32_t>(hint_ms));
     }
 
     auto p = std::make_shared<Pending>();
@@ -191,10 +215,13 @@ Scheduler::stop()
         paused_ = false;
         stopping_ = true;
         work_cv_.notify_all();
+        watchdog_cv_.notify_all();
     }
     for (auto &t : dispatchers_)
         t.join();
     dispatchers_.clear();
+    if (watchdog_.joinable())
+        watchdog_.join();
 }
 
 SchedulerStats
@@ -218,6 +245,11 @@ Scheduler::takeBatch()
                                                 queue_.end());
     queue_.clear();
     dispatching_ += batch.size();
+    const auto now = Clock::now();
+    for (auto &p : batch) {
+        p->dispatched = true;
+        p->dispatch_started = now;
+    }
     return batch;
 }
 
@@ -265,13 +297,21 @@ Scheduler::finish(const std::shared_ptr<Pending> &p, Outcome outcome)
     const double ms = outcome.server_ms;
     const bool ok = outcome.error == ServeError::None;
     const bool hit = outcome.cache_hit;
+    bool deliver = false;
     {
         MutexLock lock(mutex_);
+        deliver = !p->fulfilled;
+        p->fulfilled = true;
         // Un-register before fulfilling: a digest is coalescible only
-        // while its outcome is still pending.
-        inflight_.erase(p->point.digest);
+        // while its outcome is still pending. Compare pointers — the
+        // watchdog may have failed this point already, after which the
+        // same digest can be re-admitted as a fresh Pending.
+        if (auto it = inflight_.find(p->point.digest);
+            it != inflight_.end() && it->second == p) {
+            inflight_.erase(it);
+        }
         dispatching_--;
-        if (ok) {
+        if (deliver && ok) {
             latency_ms_.add(ms);
             latency_hist_ms_.add(ms);
             if (hit)
@@ -280,8 +320,58 @@ Scheduler::finish(const std::shared_ptr<Pending> &p, Outcome outcome)
                 counters_.simulated++;
         }
     }
-    p->promise.set_value(
-        std::make_shared<const Outcome>(std::move(outcome)));
+    // A watchdog-failed point already carries a Stalled outcome; the
+    // late real result is dropped (the client was told, typed).
+    if (deliver) {
+        p->promise.set_value(
+            std::make_shared<const Outcome>(std::move(outcome)));
+    }
+}
+
+void
+Scheduler::watchdogLoop()
+{
+    const auto limit = std::chrono::milliseconds(opts_.watchdog_ms);
+    const auto period =
+        std::chrono::milliseconds(std::max(1u, opts_.watchdog_ms / 2));
+    MutexLock lock(mutex_);
+    while (!stopping_) {
+        watchdog_cv_.waitUntil(mutex_, Clock::now() + period);
+        if (stopping_)
+            return;
+        const auto now = Clock::now();
+        std::vector<std::shared_ptr<Pending>> expired;
+        for (auto it = inflight_.begin(); it != inflight_.end();) {
+            const auto &p = it->second;
+            if (p->dispatched && !p->fulfilled
+                && now - p->dispatch_started > limit) {
+                p->fulfilled = true;
+                counters_.stalled++;
+                expired.push_back(p);
+                it = inflight_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (expired.empty())
+            continue;
+        // Fulfill outside the lock; finish() later only drops the late
+        // result and decrements dispatching_, so drain stays correct.
+        lock.unlock();
+        for (const auto &p : expired) {
+            Outcome oc;
+            oc.error = ServeError::Stalled;
+            oc.message = "batch dispatch made no progress for "
+                         + std::to_string(opts_.watchdog_ms) + " ms";
+            oc.server_ms =
+                std::chrono::duration<double, std::milli>(now
+                                                          - p->enqueued)
+                    .count();
+            p->promise.set_value(
+                std::make_shared<const Outcome>(std::move(oc)));
+        }
+        lock.lock();
+    }
 }
 
 void
@@ -313,6 +403,13 @@ Scheduler::runBatch(std::vector<std::shared_ptr<Pending>> batch)
 
     for (const auto &[digest, members] : groups) {
         (void)digest;
+        const auto fp = THERMCTL_FAULT_POINT("sched.batch");
+        if (fp.stall()) {
+            // A wedged engine invocation: the watchdog (when enabled)
+            // must fail these points rather than hang the drain.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fp.stall_ms));
+        }
         const ResolvedPoint &rep = live[members.front()]->point;
         SweepSpec spec;
         spec.protocol(rep.proto).base(rep.config);

@@ -71,6 +71,7 @@ struct SchedulerStats
     std::uint64_t rejected_overload = 0;
     std::uint64_t rejected_deadline = 0;
     std::uint64_t failed = 0;
+    std::uint64_t stalled = 0;
     std::uint64_t queue_depth = 0;
     std::uint64_t queue_high_water = 0;
     std::uint64_t latency_count = 0;
@@ -102,6 +103,13 @@ class Scheduler
          * duplicate detection deterministic.
          */
         unsigned batch_window_ms = 0;
+
+        /**
+         * Watchdog: fail a dispatched point with ServeError::Stalled
+         * when its batch has made no progress for this long. 0 turns
+         * the watchdog off (no extra thread).
+         */
+        unsigned watchdog_ms = 0;
     };
 
     /** Terminal state of one scheduled point. */
@@ -112,6 +120,8 @@ class Scheduler
         RunResult result;
         bool cache_hit = false;
         double server_ms = 0.0; ///< submit-to-completion wall time
+        /** Overloaded only: suggested client backoff before retrying. */
+        std::uint32_t retry_after_ms = 0;
     };
 
     using OutcomePtr = std::shared_ptr<const Outcome>;
@@ -167,6 +177,7 @@ class Scheduler
     struct Pending;
 
     void dispatchLoop() THERMCTL_EXCLUDES(mutex_);
+    void watchdogLoop() THERMCTL_EXCLUDES(mutex_);
     void runBatch(std::vector<std::shared_ptr<Pending>> batch)
         THERMCTL_EXCLUDES(mutex_);
     void finish(const std::shared_ptr<Pending> &p, Outcome outcome)
@@ -182,6 +193,7 @@ class Scheduler
     mutable Mutex mutex_;
     CondVar work_cv_; ///< queue became non-empty / state change
     CondVar idle_cv_; ///< queue + in-flight went empty
+    CondVar watchdog_cv_; ///< wakes the watchdog early on stop()
     std::deque<std::shared_ptr<Pending>> queue_
         THERMCTL_GUARDED_BY(mutex_);
     std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> inflight_
@@ -197,6 +209,7 @@ class Scheduler
     Histogram latency_hist_ms_ THERMCTL_GUARDED_BY(mutex_);
 
     std::vector<std::thread> dispatchers_;
+    std::thread watchdog_;
 };
 
 } // namespace thermctl::serve

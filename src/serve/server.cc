@@ -14,6 +14,7 @@
 
 #include "common/logging.hh"
 #include "common/mutex.hh"
+#include "fault/fault.hh"
 
 namespace thermctl::serve
 {
@@ -189,6 +190,7 @@ Server::statsSnapshot() const
     s.rejected_overload = ss.rejected_overload;
     s.rejected_deadline = ss.rejected_deadline;
     s.failed = ss.failed;
+    s.stalled = ss.stalled;
     s.queue_depth = ss.queue_depth;
     s.queue_high_water = ss.queue_high_water;
     s.connections_accepted = connections_accepted_.load();
@@ -240,6 +242,12 @@ Server::acceptLoop()
             const int fd = ::accept(fds[slot].fd, nullptr, nullptr);
             if (fd < 0)
                 continue;
+            if (THERMCTL_FAULT_POINT("serve.accept").abort()) {
+                // Drop the connection before it is serviced; the peer
+                // sees a clean close and must reconnect.
+                ::close(fd);
+                continue;
+            }
             // Bound mid-frame reads so a stalled peer cannot wedge a
             // connection thread (and with it, shutdown) forever.
             const timeval tv{10, 0};
@@ -305,7 +313,11 @@ Server::serveConnection(int fd)
             writeFrame(fd, MsgType::ErrorReply, err.encode());
             break; // framing is unrecoverable: close
         }
-        handleFrame(fd, type, payload);
+        // A failed reply write leaves the stream mid-frame; the only
+        // safe move is to close so the peer sees EOF and retries,
+        // rather than waiting forever on a reply that will never come.
+        if (!handleFrame(fd, type, payload))
+            break;
     }
     ::close(fd);
     active_connections_--;
@@ -325,10 +337,11 @@ Server::awaitTicket(Scheduler::Ticket ticket)
     p.cache_hit = oc->cache_hit;
     p.coalesced = ticket.coalesced;
     p.server_ms = oc->server_ms;
+    p.retry_after_ms = oc->retry_after_ms;
     return p;
 }
 
-void
+bool
 Server::handleFrame(int fd, MsgType type, const std::string &payload)
 {
     requests_total_++;
@@ -337,17 +350,15 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
         ErrorReply err;
         err.code = ServeError::BadRequest;
         err.message = msg;
-        writeFrame(fd, MsgType::ErrorReply, err.encode());
+        return writeFrame(fd, MsgType::ErrorReply, err.encode());
     };
 
     switch (type) {
       case MsgType::RunRequest: {
         run_requests_++;
         RunRequest req;
-        if (!RunRequest::decode(payload, req)) {
-            badRequest("undecodable RunRequest payload");
-            return;
-        }
+        if (!RunRequest::decode(payload, req))
+            return badRequest("undecodable RunRequest payload");
         RunReply reply;
         try {
             const ResolvedPoint pt = resolvePoint(req.point, opts_.base);
@@ -357,8 +368,7 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
             reply.point.error = ServeError::BadRequest;
             reply.point.message = e.what();
         }
-        writeFrame(fd, MsgType::RunReply, reply.encode());
-        return;
+        return writeFrame(fd, MsgType::RunReply, reply.encode());
       }
 
       case MsgType::SweepRequest: {
@@ -366,8 +376,7 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
         SweepRequest req;
         if (!SweepRequest::decode(payload, req) || req.benchmarks.empty()
             || req.policies.empty()) {
-            badRequest("undecodable or empty SweepRequest payload");
-            return;
+            return badRequest("undecodable or empty SweepRequest payload");
         }
         // Submit the whole grid before waiting on any point so the
         // scheduler can batch compatible points and coalesce
@@ -415,17 +424,14 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
                 reply.points.push_back(std::move(p));
             }
         }
-        writeFrame(fd, MsgType::SweepReply, reply.encode());
-        return;
+        return writeFrame(fd, MsgType::SweepReply, reply.encode());
       }
 
       case MsgType::CacheQueryRequest: {
         cache_queries_++;
         CacheQueryRequest req;
-        if (!CacheQueryRequest::decode(payload, req)) {
-            badRequest("undecodable CacheQueryRequest payload");
-            return;
-        }
+        if (!CacheQueryRequest::decode(payload, req))
+            return badRequest("undecodable CacheQueryRequest payload");
         CacheQueryReply reply;
         try {
             const ResolvedPoint pt = resolvePoint(req.point, opts_.base);
@@ -440,41 +446,35 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
                     sweepCacheLookup(dir, pt.digest, ignored);
             }
         } catch (const FatalError &e) {
-            badRequest(e.what());
-            return;
+            return badRequest(e.what());
         }
-        writeFrame(fd, MsgType::CacheQueryReply, reply.encode());
-        return;
+        return writeFrame(fd, MsgType::CacheQueryReply, reply.encode());
       }
 
       case MsgType::StatsRequest: {
         StatsRequest req;
-        if (!StatsRequest::decode(payload, req)) {
-            badRequest("undecodable StatsRequest payload");
-            return;
-        }
-        writeFrame(fd, MsgType::StatsReply, statsSnapshot().encode());
-        return;
+        if (!StatsRequest::decode(payload, req))
+            return badRequest("undecodable StatsRequest payload");
+        return writeFrame(fd, MsgType::StatsReply,
+                          statsSnapshot().encode());
       }
 
       case MsgType::DrainRequest: {
         DrainRequest req;
-        if (!DrainRequest::decode(payload, req)) {
-            badRequest("undecodable DrainRequest payload");
-            return;
-        }
+        if (!DrainRequest::decode(payload, req))
+            return badRequest("undecodable DrainRequest payload");
         DrainReply reply;
         reply.was_draining = drainRequested();
         // Reply first: beginDrain() makes this connection close after
         // the current frame.
-        writeFrame(fd, MsgType::DrainReply, reply.encode());
+        const bool sent =
+            writeFrame(fd, MsgType::DrainReply, reply.encode());
         beginDrain();
-        return;
+        return sent;
       }
 
       default:
-        badRequest("unexpected message type on a server socket");
-        return;
+        return badRequest("unexpected message type on a server socket");
     }
 }
 

@@ -99,7 +99,8 @@ class Server
   private:
     void acceptLoop() THERMCTL_EXCLUDES(conn_mutex_);
     void serveConnection(int fd) THERMCTL_EXCLUDES(conn_mutex_);
-    void handleFrame(int fd, MsgType type, const std::string &payload);
+    /** @return false when the reply write failed (connection unusable). */
+    bool handleFrame(int fd, MsgType type, const std::string &payload);
     PointReply awaitTicket(Scheduler::Ticket ticket);
     void reapFinishedConnections() THERMCTL_EXCLUDES(conn_mutex_);
 

@@ -92,6 +92,17 @@ struct DtmPolicySettings
      * when temperature gets "truly close to emergency" (paper §2.1).
      */
     Celsius hierarchy_backup_trigger = 111.75;
+
+    // ---- Failsafe wrapper (sensor-fault resilience; dtm/failsafe.hh) --
+    /** Wrap the selected policy in a FailsafePolicy. */
+    bool failsafe = false;
+
+    /** Consecutive bit-identical samples before declaring stuck. */
+    std::uint64_t failsafe_stuck_samples = 8;
+
+    /** Plausible sensed-temperature range; outside it trips fallback. */
+    Celsius failsafe_min_plausible = 20.0;
+    Celsius failsafe_max_plausible = 150.0;
 };
 
 /** Complete configuration of one simulation run. */

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/logging.hh"
+#include "dtm/failsafe.hh"
 
 namespace thermctl
 {
@@ -85,9 +86,26 @@ deriveDtmPlant(const Floorplan &floorplan, const PowerModel &power,
     return plant;
 }
 
+namespace
+{
+
+/** Wrap in the sensor-fault failsafe when the settings ask for it. */
 std::unique_ptr<DtmPolicy>
-makeDtmPolicy(const DtmPolicySettings &settings, const FopdtPlant &plant,
-              const DtmConfig &dtm, Seconds cycle_seconds)
+maybeFailsafe(std::unique_ptr<DtmPolicy> policy,
+              const DtmPolicySettings &settings)
+{
+    if (!settings.failsafe)
+        return policy;
+    FailsafeConfig cfg;
+    cfg.stuck_samples = settings.failsafe_stuck_samples;
+    cfg.min_plausible = settings.failsafe_min_plausible;
+    cfg.max_plausible = settings.failsafe_max_plausible;
+    return std::make_unique<FailsafePolicy>(std::move(policy), cfg);
+}
+
+std::unique_ptr<DtmPolicy>
+makeInnerPolicy(const DtmPolicySettings &settings, const FopdtPlant &plant,
+                const DtmConfig &dtm, Seconds cycle_seconds)
 {
     const double sample_dt =
         static_cast<double>(dtm.sample_interval) * cycle_seconds;
@@ -148,6 +166,16 @@ makeDtmPolicy(const DtmPolicySettings &settings, const FopdtPlant &plant,
       default:
         panic("unknown DTM policy kind");
     }
+}
+
+} // namespace
+
+std::unique_ptr<DtmPolicy>
+makeDtmPolicy(const DtmPolicySettings &settings, const FopdtPlant &plant,
+              const DtmConfig &dtm, Seconds cycle_seconds)
+{
+    return maybeFailsafe(
+        makeInnerPolicy(settings, plant, dtm, cycle_seconds), settings);
 }
 
 } // namespace thermctl

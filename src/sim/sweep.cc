@@ -14,6 +14,7 @@
 #include "common/logging.hh"
 #include "common/mutex.hh"
 #include "common/serialize.hh"
+#include "fault/fault.hh"
 
 namespace thermctl
 {
@@ -27,7 +28,7 @@ namespace
  * field (new microarchitectural detail, changed constants, fixed bug):
  * stale entries then miss instead of serving wrong results.
  */
-constexpr std::string_view kSweepCacheSalt = "thermctl-sweep-v2";
+constexpr std::string_view kSweepCacheSalt = "thermctl-sweep-v3";
 
 /** Cache entry magic ("ThermCtl Run, format 2"). */
 constexpr std::string_view kCacheMagic = "TCRUN002";
@@ -52,12 +53,12 @@ static_assert(sizeof(Technology) == 96 && sizeof(PowerConfig) == 264,
 static_assert(sizeof(FloorplanConfig) == 144
                   && sizeof(ThermalConfig) == 16,
               "thermal config changed: update feed() in sweep.cc");
-static_assert(sizeof(SensorConfig) == 32 && sizeof(DtmConfig) == 72,
+static_assert(sizeof(SensorConfig) == 64 && sizeof(DtmConfig) == 104,
               "dtm config changed: update feed() in sweep.cc");
 static_assert(sizeof(LoopShapingSpec) == 24
-                  && sizeof(DtmPolicySettings) == 112,
+                  && sizeof(DtmPolicySettings) == 144,
               "policy settings changed: update feed() in sweep.cc");
-static_assert(sizeof(SimConfig) == 1240,
+static_assert(sizeof(SimConfig) == 1304,
               "SimConfig changed: update sweepConfigDigest()");
 #endif
 
@@ -166,6 +167,9 @@ feed(HashStream &h, const DtmConfig &d)
     h.u64(d.interrupt_delay).u64(d.resync_cycles).u64(d.toggle_levels);
     h.f64(d.sensor.offset).f64(d.sensor.noise_sigma);
     h.f64(d.sensor.quantum).u64(d.sensor.seed);
+    h.u64(static_cast<std::uint64_t>(d.sensor.fault_mode));
+    h.u64(d.sensor.fault_start).f64(d.sensor.dropout_p);
+    h.f64(d.sensor.fault_value);
 }
 
 void
@@ -180,19 +184,15 @@ feed(HashStream &h, const DtmPolicySettings &s)
     h.u64(s.throttle_width).u64(s.spec_max_branches);
     h.f64(s.vf_scale).u64(s.vf_policy_delay);
     h.f64(s.hierarchy_backup_trigger);
+    h.b(s.failsafe).u64(s.failsafe_stuck_samples);
+    h.f64(s.failsafe_min_plausible).f64(s.failsafe_max_plausible);
 }
 
-/** @return true and fill `result` when `path` holds a valid entry. */
+/** @return true when the bytes form a valid entry for `digest`. */
 bool
-loadCacheEntry(const std::filesystem::path &path, std::uint64_t digest,
-               RunResult &result)
+validCacheBytes(const std::string &data, std::uint64_t digest,
+                RunResult &result)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string data = buf.str();
     if (data.size() < kCacheMagic.size() + 8)
         return false;
     if (std::string_view(data).substr(0, kCacheMagic.size())
@@ -207,6 +207,73 @@ loadCacheEntry(const std::filesystem::path &path, std::uint64_t digest,
                std::string_view(data).substr(kCacheMagic.size() + 8),
                result)
            == RunResultDecodeStatus::Ok;
+}
+
+/**
+ * Move a corrupt entry aside (path -> path.corrupt) so the next lookup
+ * is an honest cold miss instead of re-validating — and re-failing on —
+ * the same torn bytes forever. Warned once per process; the .corrupt
+ * file is kept for post-mortem and swept by sweepCacheRecover().
+ */
+void
+quarantineCacheEntry(const std::filesystem::path &path)
+{
+    static std::atomic<bool> warned{false};
+    std::filesystem::path aside = path;
+    aside += ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(path, aside, ec);
+    if (ec)
+        std::filesystem::remove(path, ec);
+    if (!warned.exchange(true)) {
+        warn("sweep: quarantined corrupt cache entry ", path.string(),
+             " (cache self-heals; entry re-simulates once)");
+    }
+}
+
+/** Inverse of hashHex: 16 lowercase hex digits -> u64. */
+bool
+parseHexDigest(const std::string &text, std::uint64_t &out)
+{
+    if (text.size() != 16)
+        return false;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        int nibble;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else
+            return false;
+        value = (value << 4) | static_cast<std::uint64_t>(nibble);
+    }
+    out = value;
+    return true;
+}
+
+/**
+ * @return true and fill `result` when `path` holds a valid entry.
+ * A missing file is a plain miss; a present-but-invalid file is
+ * quarantined when `heal` is set (the engine's read path) and left
+ * untouched otherwise (read-only probes like sweepCacheLookup).
+ */
+bool
+loadCacheEntry(const std::filesystem::path &path, std::uint64_t digest,
+               RunResult &result, bool heal = false)
+{
+    if (THERMCTL_FAULT_POINT("cache.load").abort())
+        return false; // as if the entry vanished: a plain miss
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (validCacheBytes(buf.str(), digest, result))
+        return true;
+    if (heal)
+        quarantineCacheEntry(path);
+    return false;
 }
 
 void
@@ -236,7 +303,14 @@ storeCacheEntry(const std::filesystem::path &path, std::uint64_t digest,
                   static_cast<std::streamsize>(kCacheMagic.size()));
         ByteWriter w;
         w.u64(digest);
-        const std::string body = serializeRunResult(result);
+        std::string body = serializeRunResult(result);
+        if (THERMCTL_FAULT_POINT("cache.publish").torn()) {
+            // Simulate a crash mid-write that still got renamed (e.g.
+            // power loss after rename, before data blocks landed): the
+            // published entry is truncated and must be caught by the
+            // checksum on load, then quarantined.
+            body.resize(body.size() / 2);
+        }
         out.write(w.buffer().data(),
                   static_cast<std::streamsize>(w.buffer().size()));
         out.write(body.data(), static_cast<std::streamsize>(body.size()));
@@ -533,7 +607,8 @@ SweepEngine::run(const SweepSpec &spec) const
                 bool hit = false;
                 if (caching) {
                     entry = cache_root / (hashHex(digest) + ".run");
-                    hit = loadCacheEntry(entry, digest, oc.result);
+                    hit = loadCacheEntry(entry, digest, oc.result,
+                                         /*heal=*/true);
                 }
                 if (!hit) {
                     ExperimentRunner runner(proto);
@@ -679,6 +754,48 @@ sweepCacheLookup(const std::string &cache_dir, std::uint64_t digest,
     const std::filesystem::path entry =
         std::filesystem::path(cache_dir) / (hashHex(digest) + ".run");
     return loadCacheEntry(entry, digest, out);
+}
+
+CacheRecoveryStats
+sweepCacheRecover(const std::string &cache_dir)
+{
+    CacheRecoveryStats stats;
+    const std::filesystem::path root(cache_dir);
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec))
+        return stats;
+    for (const auto &it :
+         std::filesystem::directory_iterator(root, ec)) {
+        const std::filesystem::path &path = it.path();
+        const std::string name = path.filename().string();
+        // Leftover temp files are crashes mid-write; never valid.
+        if (name.find(".tmp.") != std::string::npos) {
+            std::filesystem::remove(path, ec);
+            stats.tmp_removed++;
+            continue;
+        }
+        if (path.extension() != ".run")
+            continue;
+        stats.scanned++;
+        // The digest is the entry's own filename (content addressing),
+        // so an entry can be validated without knowing its config.
+        std::uint64_t digest = 0;
+        if (!parseHexDigest(path.stem().string(), digest)) {
+            quarantineCacheEntry(path);
+            stats.quarantined++;
+            continue;
+        }
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        if (in)
+            buf << in.rdbuf();
+        RunResult ignored;
+        if (!in || !validCacheBytes(buf.str(), digest, ignored)) {
+            quarantineCacheEntry(path);
+            stats.quarantined++;
+        }
+    }
+    return stats;
 }
 
 } // namespace thermctl

@@ -281,6 +281,24 @@ RunResultDecodeStatus deserializeRunResult(std::string_view buffer,
 bool sweepCacheLookup(const std::string &cache_dir, std::uint64_t digest,
                       RunResult &out);
 
+/** What a cache recovery sweep found (and removed). */
+struct CacheRecoveryStats
+{
+    std::uint64_t scanned = 0;     ///< *.run entries examined
+    std::uint64_t quarantined = 0; ///< invalid entries moved to *.corrupt
+    std::uint64_t tmp_removed = 0; ///< abandoned *.tmp.* writer files
+};
+
+/**
+ * Crash-recovery sweep over a cache directory: validates every entry
+ * against the digest encoded in its filename (magic, stored digest,
+ * payload version + checksum), quarantines invalid ones as *.corrupt,
+ * and removes temp files abandoned by writers that died mid-publish.
+ * Safe to run against a live cache — concurrent writers publish by
+ * rename, and a valid entry is never touched.
+ */
+CacheRecoveryStats sweepCacheRecover(const std::string &cache_dir);
+
 } // namespace thermctl
 
 #endif // THERMCTL_SIM_SWEEP_HH

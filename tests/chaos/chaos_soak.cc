@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Chaos soak harness for thermctl-serve under deterministic fault
+ * injection (src/fault). It arms a seeded FaultPlan across the
+ * transport, scheduler, and cache layers, drives an in-process server
+ * with concurrent retrying clients, and asserts the resilience
+ * invariant end to end:
+ *
+ *   every admitted request yields exactly one reply that is either
+ *   bit-identical to a fault-free run of the same spec or a typed
+ *   ServeError — never a hang, never silent corruption.
+ *
+ * After the soak it disarms the plan and re-verifies every point
+ * through the same server, proving the stack (including the on-disk
+ * cache, which saw torn publishes) healed rather than wedged.
+ *
+ * Failures print the seed so the exact fault sequence replays:
+ *
+ *   chaos_soak --seed=N [--clients=N] [--requests=N] [--plan=SPEC]
+ *              [--max-wall=SECONDS]
+ */
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "fault/fault.hh"
+#include "serve/client.hh"
+#include "serve/retry.hh"
+#include "serve/server.hh"
+#include "sim/experiment.hh"
+#include "sim/policy_factory.hh"
+#include "sim/sweep.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace thermctl;
+using namespace thermctl::serve;
+
+namespace
+{
+
+struct SoakFlags
+{
+    std::uint64_t seed = 1;
+    int clients = 4;
+    int requests = 16; ///< per client
+    int max_wall_s = 240;
+    std::string plan; ///< empty = built-in plan derived from seed
+};
+
+bool
+flagValue(const char *arg, const char *name, std::string &out)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    out = arg + n + 1;
+    return true;
+}
+
+SoakFlags
+parseFlags(int argc, char **argv)
+{
+    SoakFlags flags;
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        if (flagValue(argv[i], "--seed", value))
+            flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+        else if (flagValue(argv[i], "--clients", value))
+            flags.clients = std::atoi(value.c_str());
+        else if (flagValue(argv[i], "--requests", value))
+            flags.requests = std::atoi(value.c_str());
+        else if (flagValue(argv[i], "--max-wall", value))
+            flags.max_wall_s = std::atoi(value.c_str());
+        else if (flagValue(argv[i], "--plan", value))
+            flags.plan = value;
+        else
+            fatal("chaos_soak: unknown flag '", argv[i],
+                  "' (want --seed/--clients/--requests/--plan/--max-wall)");
+    }
+    if (flags.clients < 1 || flags.requests < 1 || flags.max_wall_s < 1)
+        fatal("chaos_soak: --clients/--requests/--max-wall must be >= 1");
+    return flags;
+}
+
+/**
+ * The built-in plan covers every injectable layer: short and aborted
+ * socket I/O on both sides, EINTR storms, dropped accepts, scheduler
+ * stalls (including two long enough to trip the watchdog), torn cache
+ * publishes, and cache-load failures. Rates are tuned so a small soak
+ * sees every site fire while most requests still succeed.
+ */
+std::string
+builtinPlan(std::uint64_t seed)
+{
+    return "seed=" + std::to_string(seed)
+           + ";serve.sock.write=short@0.2"
+             ";serve.sock.write=abort@0.04"
+             ";serve.sock.read=eintr@0.1"
+             ";serve.sock.read=abort@0.04"
+             ";serve.accept=abort@0.1:max=3"
+             ";sched.batch=stall@0.2:ms=30"
+             ";sched.batch=stall@0.04:ms=1500:max=2"
+             ";cache.publish=torn@0.3"
+             ";cache.load=abort@0.1";
+}
+
+/** The point grid the soak requests (small enough to precompute). */
+struct SoakPoint
+{
+    std::string benchmark;
+    std::string policy;
+    std::string expected; ///< serialized fault-free RunResult
+};
+
+constexpr std::uint64_t kWarmup = 1000;
+constexpr std::uint64_t kMeasure = 10000;
+
+std::vector<SoakPoint>
+precomputeExpected()
+{
+    RunProtocol proto;
+    proto.warmup_cycles = kWarmup;
+    proto.measure_cycles = kMeasure;
+    const ExperimentRunner runner(proto);
+
+    std::vector<SoakPoint> points;
+    for (const char *bench : {"186.crafty", "179.art"}) {
+        for (const char *policy : {"none", "PI", "PID"}) {
+            SimConfig cfg;
+            if (!parseDtmPolicyKind(policy, cfg.policy.kind))
+                fatal("chaos_soak: unknown policy ", policy);
+            const RunResult result =
+                runner.runOne(specProfile(bench), cfg.policy, cfg);
+            points.push_back(
+                {bench, policy, serializeRunResult(result)});
+        }
+    }
+    return points;
+}
+
+struct ClientTally
+{
+    std::uint64_t ok = 0;          ///< bit-identical result replies
+    std::uint64_t typed_errors = 0;
+    std::uint64_t mismatches = 0;  ///< the invariant violation
+    std::map<int, std::uint64_t> by_error;
+};
+
+ClientTally
+runClient(const std::string &endpoint, const SoakFlags &flags,
+          int client_id, const std::vector<SoakPoint> &points)
+{
+    BackoffConfig backoff;
+    backoff.base_ms = 5;
+    backoff.cap_ms = 100;
+    backoff.max_attempts = 6;
+    backoff.deadline_ms = 20000;
+    backoff.seed = Rng(flags.seed).fork(0x10000u + unsigned(client_id))
+                       .next();
+    RetryingClient client(endpoint, backoff);
+
+    Rng pick(Rng(flags.seed).fork(unsigned(client_id)).next());
+    ClientTally tally;
+    for (int i = 0; i < flags.requests; ++i) {
+        const SoakPoint &point =
+            points[pick.below(std::uint64_t(points.size()))];
+        RunRequest req;
+        req.point.benchmark = point.benchmark;
+        req.point.policy = point.policy;
+        req.point.warmup_cycles = kWarmup;
+        req.point.measure_cycles = kMeasure;
+        const PointReply reply = client.run(req);
+        if (reply.error == ServeError::None) {
+            if (serializeRunResult(reply.result) == point.expected) {
+                tally.ok++;
+            } else {
+                tally.mismatches++;
+                std::fprintf(stderr,
+                             "MISMATCH client %d req %d %s/%s: reply "
+                             "differs from fault-free run\n",
+                             client_id, i, point.benchmark.c_str(),
+                             point.policy.c_str());
+            }
+        } else {
+            tally.typed_errors++;
+            tally.by_error[int(reply.error)]++;
+        }
+    }
+    return tally;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SoakFlags flags = parseFlags(argc, argv);
+
+    // Hang watchdog: a chaos bug that wedges a future or a drain would
+    // otherwise look like a ctest timeout with no diagnostics. _exit,
+    // not exit: wedged threads cannot run destructors.
+    std::atomic<bool> done{false};
+    std::thread hang_guard([&done, &flags] {
+        const auto deadline = std::chrono::steady_clock::now()
+                              + std::chrono::seconds(flags.max_wall_s);
+        while (!done.load()) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+                std::fprintf(stderr,
+                             "HANG: soak exceeded %d s (replay with "
+                             "--seed=%llu)\n",
+                             flags.max_wall_s,
+                             static_cast<unsigned long long>(flags.seed));
+                std::_Exit(2);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+    });
+
+    const std::string plan_spec =
+        flags.plan.empty() ? builtinPlan(flags.seed) : flags.plan;
+    const fault::FaultPlan plan = fault::FaultPlan::parse(plan_spec);
+    std::printf("chaos_soak: plan %s\n", plan.describe().c_str());
+
+    std::printf("chaos_soak: precomputing fault-free expectations...\n");
+    const std::vector<SoakPoint> points = precomputeExpected();
+
+    const std::string socket_path =
+        "/tmp/tchaos-" + std::to_string(::getpid()) + ".sock";
+    const std::filesystem::path cache_dir =
+        std::filesystem::temp_directory_path()
+        / ("thermctl-chaos-cache-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(cache_dir);
+
+    ServerOptions opts;
+    opts.unix_path = socket_path;
+    opts.sched.sweep.use_cache = true;
+    opts.sched.sweep.cache_dir = cache_dir.string();
+    opts.sched.sweep.jobs = 2;
+    opts.sched.dispatchers = 2;
+    opts.sched.batch_window_ms = 5;
+    opts.sched.watchdog_ms = 1000;
+    Server server(opts);
+    server.start();
+
+    fault::FaultInjector::instance().arm(plan);
+
+    std::vector<ClientTally> tallies(std::size_t(flags.clients));
+    std::vector<std::thread> threads;
+    threads.reserve(std::size_t(flags.clients));
+    for (int c = 0; c < flags.clients; ++c) {
+        threads.emplace_back([&, c] {
+            tallies[std::size_t(c)] =
+                runClient("unix:" + socket_path, flags, c, points);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const std::uint64_t fired =
+        fault::FaultInjector::instance().firedCount();
+    fault::FaultInjector::instance().disarm();
+
+    // Recovery phase: with faults off, the same server must answer
+    // every point fault-free and bit-identical — torn cache entries
+    // must have been quarantined, not wedged into permanent errors.
+    std::uint64_t recovery_failures = 0;
+    {
+        ServeClient verify = ServeClient::connect("unix:" + socket_path);
+        for (const SoakPoint &point : points) {
+            RunRequest req;
+            req.point.benchmark = point.benchmark;
+            req.point.policy = point.policy;
+            req.point.warmup_cycles = kWarmup;
+            req.point.measure_cycles = kMeasure;
+            const PointReply reply = verify.run(req);
+            if (reply.error != ServeError::None
+                || serializeRunResult(reply.result) != point.expected) {
+                recovery_failures++;
+                std::fprintf(stderr,
+                             "RECOVERY FAILURE %s/%s: %s %s\n",
+                             point.benchmark.c_str(),
+                             point.policy.c_str(),
+                             std::string(serveErrorName(reply.error))
+                                 .c_str(),
+                             reply.message.c_str());
+            }
+        }
+    }
+
+    const StatsReply stats = server.statsSnapshot();
+    server.beginDrain();
+    server.shutdown();
+
+    const CacheRecoveryStats cache_recovery =
+        sweepCacheRecover(cache_dir.string());
+    std::filesystem::remove_all(cache_dir);
+
+    ClientTally total;
+    for (const ClientTally &t : tallies) {
+        total.ok += t.ok;
+        total.typed_errors += t.typed_errors;
+        total.mismatches += t.mismatches;
+        for (const auto &[code, n] : t.by_error)
+            total.by_error[code] += n;
+    }
+
+    std::printf("chaos_soak: %llu ok, %llu typed errors, %llu "
+                "mismatches over %d requests\n",
+                (unsigned long long)total.ok,
+                (unsigned long long)total.typed_errors,
+                (unsigned long long)total.mismatches,
+                flags.clients * flags.requests);
+    for (const auto &[code, n] : total.by_error) {
+        std::printf("chaos_soak:   error %s: %llu\n",
+                    std::string(serveErrorName(ServeError(code))).c_str(),
+                    (unsigned long long)n);
+    }
+    std::printf("chaos_soak: %llu faults fired; server simulated %llu, "
+                "cache hits %llu, stalled %llu\n",
+                (unsigned long long)fired,
+                (unsigned long long)stats.points_simulated,
+                (unsigned long long)stats.cache_hits,
+                (unsigned long long)stats.stalled);
+    std::printf("chaos_soak: cache recovery scanned %llu, quarantined "
+                "%llu, tmp removed %llu\n",
+                (unsigned long long)cache_recovery.scanned,
+                (unsigned long long)cache_recovery.quarantined,
+                (unsigned long long)cache_recovery.tmp_removed);
+
+    bool failed = false;
+    if (total.mismatches > 0 || recovery_failures > 0)
+        failed = true;
+    const std::uint64_t answered = total.ok + total.typed_errors;
+    if (answered
+        != std::uint64_t(flags.clients) * std::uint64_t(flags.requests)) {
+        std::fprintf(stderr, "BUG: %llu replies for %d requests\n",
+                     (unsigned long long)answered,
+                     flags.clients * flags.requests);
+        failed = true;
+    }
+#if defined(THERMCTL_FAULTS_ENABLED) && THERMCTL_FAULTS_ENABLED
+    if (fired == 0) {
+        std::fprintf(stderr,
+                     "BUG: fault injection armed but nothing fired — "
+                     "the soak exercised nothing\n");
+        failed = true;
+    }
+#else
+    std::printf("chaos_soak: THERMCTL_FAULTS is OFF — ran as a plain "
+                "stress test\n");
+#endif
+
+    done.store(true);
+    hang_guard.join();
+    if (failed) {
+        std::fprintf(stderr, "chaos_soak: FAILED (replay with --seed=%llu)\n",
+                     static_cast<unsigned long long>(flags.seed));
+        return 1;
+    }
+    std::printf("chaos_soak: PASS (seed %llu)\n",
+                static_cast<unsigned long long>(flags.seed));
+    return 0;
+}

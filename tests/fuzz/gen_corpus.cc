@@ -193,6 +193,36 @@ genProtocol(const fs::path &dir)
         hdr[9] = '\xff'; // => 0xffffffff > kMaxFramePayload
         ok &= writeBytes(dir / "regress_frame_oversize_len", sel(0, hdr));
     }
+    // Mid-payload truncations at fault-point boundaries: the shapes an
+    // injected serve.sock.read/write abort or short-count leaves behind
+    // (connection cut partway through a reply). Decoders must reject
+    // every cut cleanly — no overread, no partial decode accepted.
+    {
+        const std::string full = run_reply.encode();
+        ok &= writeBytes(dir / "regress_run_reply_truncated",
+                         sel(6, full.substr(0, full.size() / 2)));
+        ok &= writeBytes(dir / "regress_run_reply_cut_last_byte",
+                         sel(6, full.substr(0, full.size() - 1)));
+    }
+    {
+        // Cut inside the second point of a sweep reply: the first point
+        // decodes, the torn tail must still fail the whole message.
+        const std::string full = sweep_reply.encode();
+        ok &= writeBytes(dir / "regress_sweep_reply_truncated",
+                         sel(7, full.substr(0, full.size() * 3 / 4)));
+    }
+    {
+        // ErrorReply cut mid-message-string (code byte survives).
+        const std::string full = error_reply.encode();
+        ok &= writeBytes(dir / "regress_error_reply_truncated",
+                         sel(11, full.substr(0, full.size() / 2)));
+    }
+    {
+        // A header itself cut short by an aborted read.
+        ok &= writeBytes(dir / "regress_frame_header_truncated",
+                         sel(0, stats_frame.substr(
+                                    0, kFrameHeaderBytes / 2)));
+    }
     return ok;
 }
 

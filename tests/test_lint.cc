@@ -232,6 +232,25 @@ TEST(LintRules, ThreadSpawnRequiresAnnotationHeader)
                          "missing-thread-annotations"));
 }
 
+TEST(LintRules, FaultPointScopeFlagsProbesOutsideSrc)
+{
+    const char *probe =
+        "void f() { auto fp = THERMCTL_FAULT_POINT(\"x.y\"); }\n";
+    EXPECT_TRUE(hasRule(rulesFor("tests/test_thing.cc", probe),
+                        "fault-point-scope"));
+    EXPECT_TRUE(hasRule(rulesFor("bench/ablation_x.cc", probe),
+                        "fault-point-scope"));
+    // Product code is exactly where probes belong.
+    EXPECT_FALSE(hasRule(rulesFor("src/serve/protocol.cc", probe),
+                         "fault-point-scope"));
+    // The token in a comment or string does not count.
+    const char *mention =
+        "// THERMCTL_FAULT_POINT is product-only\n"
+        "const char *s = \"THERMCTL_FAULT_POINT\";\n";
+    EXPECT_FALSE(hasRule(rulesFor("tests/test_thing.cc", mention),
+                         "fault-point-scope"));
+}
+
 // -------------------------------------------------------------- allowlist
 
 TEST(LintAllowlist, ParsesEntriesCommentsAndBlankLines)
@@ -297,10 +316,11 @@ TEST(LintOutput, TextAndJsonFormats)
 TEST(LintOutput, RuleIdsAreStable)
 {
     const auto &ids = ruleIds();
-    EXPECT_EQ(ids.size(), 5u);
+    EXPECT_EQ(ids.size(), 6u);
     EXPECT_TRUE(hasRule(ids, "raw-double-param"));
     EXPECT_TRUE(hasRule(ids, "using-namespace-header"));
     EXPECT_TRUE(hasRule(ids, "reader-bounds"));
     EXPECT_TRUE(hasRule(ids, "naked-mutex"));
     EXPECT_TRUE(hasRule(ids, "missing-thread-annotations"));
+    EXPECT_TRUE(hasRule(ids, "fault-point-scope"));
 }

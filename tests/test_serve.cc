@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/scheduler.hh"
@@ -733,6 +734,125 @@ TEST(ServeServer, ForeignWireVersionGetsTypedRejection)
     ::close(fd);
     server.shutdown();
 }
+
+TEST(ServeScheduler, OverloadedRepliesCarryRetryAfterHint)
+{
+    Scheduler::Options opts = fastSchedOptions();
+    opts.max_queue = 1;
+    Scheduler sched(opts);
+
+    sched.pauseDispatch();
+    Scheduler::Ticket queued =
+        sched.submit(resolvePoint(fastPoint("186.crafty"), {}), 0);
+    Scheduler::Ticket rejected =
+        sched.submit(resolvePoint(fastPoint("179.art"), {}), 0);
+    ASSERT_TRUE(rejected.rejected);
+
+    const Scheduler::OutcomePtr oc = rejected.future.get();
+    EXPECT_EQ(oc->error, ServeError::Overloaded);
+    // The server-computed backoff hint is present and sane; the retry
+    // policy (serve/retry.hh) floors its next sleep on it.
+    EXPECT_GE(oc->retry_after_ms, 25u);
+    EXPECT_LE(oc->retry_after_ms, 5000u);
+
+    sched.resumeDispatch();
+    EXPECT_EQ(queued.future.get()->error, ServeError::None);
+    sched.awaitIdle();
+}
+
+#if defined(THERMCTL_FAULTS_ENABLED) && THERMCTL_FAULTS_ENABLED
+
+namespace
+{
+
+/** Disarm on scope exit so a failing test never poisons the rest. */
+struct ScopedDisarm
+{
+    ~ScopedDisarm() { fault::FaultInjector::instance().disarm(); }
+};
+
+} // namespace
+
+TEST(ServeScheduler, WatchdogFailsStalledDispatchWithTypedError)
+{
+    ScopedDisarm guard;
+    Scheduler::Options opts = fastSchedOptions();
+    opts.watchdog_ms = 50;
+    Scheduler sched(opts);
+
+    fault::FaultInjector::instance().arm(
+        fault::FaultPlan::parse("sched.batch=stall:ms=800:max=1"));
+
+    Scheduler::Ticket t = sched.submit(resolvePoint(fastPoint(), {}), 0);
+    const Scheduler::OutcomePtr oc = t.future.get();
+    EXPECT_EQ(oc->error, ServeError::Stalled);
+    EXPECT_NE(oc->message.find("no progress"), std::string::npos);
+
+    // The injected stall is finite: the batch completes underneath,
+    // its late result is dropped (the client already has the typed
+    // error), and idle/drain do not hang.
+    sched.awaitIdle();
+    const SchedulerStats s = sched.stats();
+    EXPECT_EQ(s.stalled, 1u);
+    EXPECT_EQ(s.simulated, 0u); // late result never counted as success
+}
+
+TEST(ServeServer, ShortWritesAndInterruptedReadsStillDeliverExactly)
+{
+    ScopedDisarm guard;
+    const ServerOptions opts = fastServerOptions(8);
+    Server server(opts);
+    server.start();
+
+    // Every socket write trickles out one byte per send(); every third
+    // read attempt is interrupted first. The framing layer must absorb
+    // both without corrupting a single bit of the reply.
+    fault::FaultInjector::instance().arm(fault::FaultPlan::parse(
+        "serve.sock.write=short;serve.sock.read=eintr:every=3"));
+
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    RunRequest req;
+    req.point = fastPoint("186.crafty", "PI");
+    const PointReply reply = c.run(req);
+    fault::FaultInjector::instance().disarm();
+
+    ASSERT_EQ(reply.error, ServeError::None) << reply.message;
+    RunProtocol proto;
+    proto.warmup_cycles = 1000;
+    proto.measure_cycles = 10000;
+    SimConfig direct;
+    ASSERT_TRUE(parseDtmPolicyKind("PI", direct.policy.kind));
+    const RunResult expect = ExperimentRunner(proto).runOne(
+        specProfile("186.crafty"), direct.policy, direct);
+    expectSameResult(reply.result, expect);
+    server.shutdown();
+}
+
+TEST(ServeServer, AbortedConnectionComesBackAsTypedTransport)
+{
+    ScopedDisarm guard;
+    const ServerOptions opts = fastServerOptions(9);
+    Server server(opts);
+    server.start();
+
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    // The server aborts its first read of the request: the client sees
+    // a broken connection — a typed Transport reply, not process death.
+    fault::FaultInjector::instance().arm(
+        fault::FaultPlan::parse("serve.sock.read=abort:max=1"));
+    RunRequest req;
+    req.point = fastPoint("186.crafty", "none");
+    const PointReply broken = c.run(req);
+    fault::FaultInjector::instance().disarm();
+    EXPECT_EQ(broken.error, ServeError::Transport);
+
+    // A fresh connection works again (the server survived the abort).
+    ServeClient c2 = ServeClient::connectUnix(opts.unix_path);
+    EXPECT_EQ(c2.run(req).error, ServeError::None);
+    server.shutdown();
+}
+
+#endif // THERMCTL_FAULTS_ENABLED
 
 TEST(ServeServer, DrainCompletesInflightThenRefusesNewWork)
 {

@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <unistd.h>
+#include <vector>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
@@ -348,6 +352,138 @@ TEST(SweepEngine, CorruptCacheEntriesDegradeToMisses)
     EXPECT_EQ(second.simulated(), 1u);
     EXPECT_EQ(second.cacheHits(), 0u);
     EXPECT_EQ(serializeAll(first), serializeAll(second));
+}
+
+TEST(SweepEngine, CorruptEntriesQuarantineAndSelfHeal)
+{
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+    const SweepEngine engine(opts);
+
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    spec.workload(specProfile("186.crafty"));
+
+    ASSERT_EQ(engine.run(spec).simulated(), 1u);
+
+    // Corrupt the published entry in place (flip one payload byte).
+    std::filesystem::path entry;
+    for (const auto &it :
+         std::filesystem::directory_iterator(cache.path())) {
+        if (it.path().extension() == ".run")
+            entry = it.path();
+    }
+    ASSERT_FALSE(entry.empty());
+    std::filesystem::resize_file(
+        entry, std::filesystem::file_size(entry) - 1);
+
+    // The engine's read path must quarantine (not just miss): the bad
+    // file moves aside as *.corrupt and a fresh entry is republished,
+    // so the third run is a clean hit instead of a miss-loop.
+    const SweepResults healed = engine.run(spec);
+    EXPECT_EQ(healed.simulated(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(entry.string() + ".corrupt")));
+    EXPECT_TRUE(std::filesystem::exists(entry)); // republished
+    EXPECT_EQ(engine.run(spec).cacheHits(), 1u);
+}
+
+TEST(SweepCacheRecover, QuarantinesTornEntriesAndRemovesTemps)
+{
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+    const SweepEngine engine(opts);
+    ASSERT_EQ(engine.run(smallGrid()).simulated(), 9u);
+
+    // Tear one entry (truncate to half) and abandon a writer temp file.
+    std::vector<std::filesystem::path> entries;
+    for (const auto &it :
+         std::filesystem::directory_iterator(cache.path())) {
+        if (it.path().extension() == ".run")
+            entries.push_back(it.path());
+    }
+    ASSERT_EQ(entries.size(), 9u);
+    std::sort(entries.begin(), entries.end());
+    const auto torn_size = std::filesystem::file_size(entries[0]) / 2;
+    std::filesystem::resize_file(entries[0], torn_size);
+    {
+        std::ofstream tmp(cache.path()
+                          / "0123456789abcdef.run.tmp.deadbeef");
+        tmp << "abandoned";
+    }
+    // A file whose name is not a digest is quarantined too.
+    {
+        std::ofstream stray(cache.path() / "not-a-digest.run");
+        stray << "stray";
+    }
+
+    const CacheRecoveryStats stats =
+        sweepCacheRecover(cache.path().string());
+    EXPECT_EQ(stats.scanned, 10u);
+    EXPECT_EQ(stats.quarantined, 2u);
+    EXPECT_EQ(stats.tmp_removed, 1u);
+
+    // Valid entries were untouched; a second sweep finds nothing.
+    const CacheRecoveryStats again =
+        sweepCacheRecover(cache.path().string());
+    EXPECT_EQ(again.scanned, 8u);
+    EXPECT_EQ(again.quarantined, 0u);
+    EXPECT_EQ(again.tmp_removed, 0u);
+
+    // And the grid re-runs from the surviving entries: 8 hits, 1
+    // honest re-simulation of the quarantined point.
+    const SweepResults after = engine.run(smallGrid());
+    EXPECT_EQ(after.cacheHits(), 8u);
+    EXPECT_EQ(after.simulated(), 1u);
+
+    // A missing directory is a no-op, not an error.
+    const CacheRecoveryStats none =
+        sweepCacheRecover((cache.path() / "nope").string());
+    EXPECT_EQ(none.scanned, 0u);
+}
+
+TEST(SweepCacheLookup, ReadOnlyProbeDoesNotQuarantine)
+{
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+    const SweepEngine engine(opts);
+
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    spec.workload(specProfile("164.gzip"));
+    ASSERT_EQ(engine.run(spec).simulated(), 1u);
+
+    std::filesystem::path entry;
+    for (const auto &it :
+         std::filesystem::directory_iterator(cache.path())) {
+        if (it.path().extension() == ".run")
+            entry = it.path();
+    }
+    ASSERT_FALSE(entry.empty());
+    std::uint64_t digest = 0;
+    {
+        std::stringstream ss;
+        ss << std::hex << entry.stem().string();
+        ss >> digest;
+    }
+
+    RunResult out;
+    EXPECT_TRUE(sweepCacheLookup(cache.path().string(), digest, out));
+
+    std::filesystem::resize_file(
+        entry, std::filesystem::file_size(entry) / 2);
+    EXPECT_FALSE(sweepCacheLookup(cache.path().string(), digest, out));
+    // The probe is read-only: the torn entry is still in place.
+    EXPECT_TRUE(std::filesystem::exists(entry));
 }
 
 TEST(SweepEngine, LookupByKeyAndTriple)

@@ -226,7 +226,7 @@ ruleIds()
     static const std::vector<std::string> ids = {
         "raw-double-param",  "using-namespace-header",
         "reader-bounds",     "naked-mutex",
-        "missing-thread-annotations",
+        "missing-thread-annotations", "fault-point-scope",
     };
     return ids;
 }
@@ -490,6 +490,30 @@ checkThreadAnnotations(const std::string &path,
          "annotatable"});
 }
 
+/**
+ * fault-point-scope: THERMCTL_FAULT_POINT probes are product-code
+ * instrumentation and live only under src/. Tests and benches induce
+ * failures by arming a FaultPlan against the probes that already exist;
+ * a probe defined in test code would skew the faults-off build and is
+ * never exercised in production.
+ */
+void
+checkFaultPointScope(const std::string &path,
+                     const std::vector<Token> &toks,
+                     std::vector<Finding> &findings)
+{
+    for (const Token &t : toks) {
+        if (t.kind == Token::Kind::Identifier
+            && t.text == "THERMCTL_FAULT_POINT") {
+            findings.push_back(
+                {path, t.line, "fault-point-scope",
+                 "THERMCTL_FAULT_POINT outside src/; fault probes are "
+                 "product instrumentation — tests arm a FaultPlan "
+                 "against existing probes instead of adding their own"});
+        }
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -520,6 +544,9 @@ lintFile(const std::string &path, std::string_view content)
 
     if (in_src)
         checkThreadAnnotations(path, toks, includes, findings);
+
+    if (!in_src)
+        checkFaultPointScope(path, toks, findings);
 
     std::stable_sort(findings.begin(), findings.end(),
                      [](const Finding &a, const Finding &b) {

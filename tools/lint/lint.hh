@@ -23,6 +23,10 @@
  *                               includes the annotation headers
  *                               (common/mutex.hh or
  *                               common/thread_annotations.hh)
+ *   fault-point-scope           THERMCTL_FAULT_POINT probes appear only
+ *                               under src/ — tests and benches arm a
+ *                               FaultPlan against existing probes
+ *                               rather than defining their own
  *
  * Deliberately libclang-free: a token scan with comment/string
  * stripping is robust enough for these rules, keeps the tool a

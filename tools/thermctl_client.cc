@@ -19,6 +19,15 @@
  *     --cache-query      ask whether the point is cached; no simulation
  *     --stats            print server counters and exit
  *     --drain            ask the server to drain and shut down
+ *     --retries N        attempts per request incl. the first (default 1
+ *                        = no retries, exactly the plain client)
+ *     --retry-base-ms N  backoff base sleep (default 50)
+ *     --retry-deadline-ms N
+ *                        total retry budget across attempts and sleeps
+ *                        (default 0 = bounded by --retries alone)
+ *     --fault-plan SPEC  arm the deterministic fault injector on the
+ *                        client side (chaos testing; needs a
+ *                        THERMCTL_FAULTS build)
  *
  * Result blocks are formatted exactly like thermctl_run so outputs can
  * be compared byte-for-byte. Server refusals (overloaded, draining,
@@ -32,7 +41,9 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "fault/fault.hh"
 #include "serve/client.hh"
+#include "serve/retry.hh"
 #include "serve/server.hh"
 
 using namespace thermctl;
@@ -70,7 +81,10 @@ usage()
         "                       [--policy NAME[,NAME...]]\n"
         "                       [--warmup N] [--cycles N] [--setpoint T]\n"
         "                       [--sample N] [--deadline MS] [--csv PATH]\n"
-        "                       [--cache-query] [--stats] [--drain]\n";
+        "                       [--cache-query] [--stats] [--drain]\n"
+        "                       [--retries N] [--retry-base-ms N]\n"
+        "                       [--retry-deadline-ms N]\n"
+        "                       [--fault-plan SPEC]\n";
 }
 
 /** Identical layout to thermctl_run's printResult (bit-compare safe). */
@@ -125,6 +139,7 @@ printStats(const StatsReply &s)
               << "rejected_overload   : " << s.rejected_overload << "\n"
               << "rejected_deadline   : " << s.rejected_deadline << "\n"
               << "failed              : " << s.failed << "\n"
+              << "stalled             : " << s.stalled << "\n"
               << "queue_depth         : " << s.queue_depth << "\n"
               << "queue_high_water    : " << s.queue_high_water << "\n"
               << "connections_accepted: " << s.connections_accepted << "\n"
@@ -151,6 +166,9 @@ main(int argc, char **argv)
     bool do_cache_query = false;
     bool do_stats = false;
     bool do_drain = false;
+    BackoffConfig backoff;
+    backoff.max_attempts = 1; // default: exactly the plain client
+    std::string fault_plan_spec;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -178,6 +196,18 @@ main(int argc, char **argv)
                 deadline_ms = std::stoull(next());
             } else if (arg == "--csv") {
                 csv_path = next();
+            } else if (arg == "--retries") {
+                const long v = std::stol(next());
+                if (v < 1)
+                    fatal("--retries must be >= 1");
+                backoff.max_attempts = static_cast<std::uint32_t>(v);
+            } else if (arg == "--retry-base-ms") {
+                backoff.base_ms =
+                    static_cast<std::uint32_t>(std::stoul(next()));
+            } else if (arg == "--retry-deadline-ms") {
+                backoff.deadline_ms = std::stoull(next());
+            } else if (arg == "--fault-plan") {
+                fault_plan_spec = next();
             } else if (arg == "--cache-query") {
                 do_cache_query = true;
             } else if (arg == "--stats") {
@@ -200,19 +230,29 @@ main(int argc, char **argv)
         if (policies.empty())
             policies = {"none"};
 
-        ServeClient client = ServeClient::connect(endpoint);
+        if (!fault_plan_spec.empty()) {
+#if defined(THERMCTL_FAULTS_ENABLED) && THERMCTL_FAULTS_ENABLED
+            fault::FaultInjector::instance().arm(
+                fault::FaultPlan::parse(fault_plan_spec));
+#else
+            fatal("--fault-plan needs a build with THERMCTL_FAULTS=ON "
+                  "(fault points are compiled out of this binary)");
+#endif
+        }
 
-        if (do_stats) {
-            printStats(client.stats());
-            return 0;
-        }
-        if (do_drain) {
-            const bool was = client.drain();
-            std::cout << (was ? "server was already draining\n"
-                              : "drain requested\n");
-            return 0;
-        }
-        if (do_cache_query) {
+        // Control-plane commands talk to the server once, no retries.
+        if (do_stats || do_drain || do_cache_query) {
+            ServeClient client = ServeClient::connect(endpoint);
+            if (do_stats) {
+                printStats(client.stats());
+                return 0;
+            }
+            if (do_drain) {
+                const bool was = client.drain();
+                std::cout << (was ? "server was already draining\n"
+                                  : "drain requested\n");
+                return 0;
+            }
             if (benches.size() > 1 || policies.size() > 1)
                 fatal("--cache-query takes a single benchmark and "
                       "policy");
@@ -227,6 +267,10 @@ main(int argc, char **argv)
             return reply.cached ? 0 : 1;
         }
 
+        // Simulation requests go through the retrying client; the
+        // default --retries 1 makes it behave exactly like the plain
+        // client (a typed error surfaces unchanged, no sleeps).
+        RetryingClient client(endpoint, backoff);
         std::vector<PointReply> points;
         if (benches.size() == 1 && policies.size() == 1) {
             RunRequest req;
@@ -248,6 +292,7 @@ main(int argc, char **argv)
         }
 
         int failures = 0;
+        bool transport_failure = false;
         bool first = true;
         for (const auto &p : points) {
             if (p.error != ServeError::None) {
@@ -255,6 +300,7 @@ main(int argc, char **argv)
                           << serveErrorName(p.error) << ": " << p.message
                           << "\n";
                 failures++;
+                transport_failure |= p.error == ServeError::Transport;
                 continue;
             }
             if (!first)
@@ -264,7 +310,9 @@ main(int argc, char **argv)
             if (!csv_path.empty())
                 appendCsv(csv_path, p.result, knobs.measure_cycles);
         }
-        return failures == 0 ? 0 : 3;
+        if (failures == 0)
+            return 0;
+        return transport_failure ? 2 : 3;
     } catch (const FatalError &e) {
         std::cerr << e.what() << "\n";
         return 2;

@@ -18,6 +18,17 @@
  *     --dispatchers N     scheduler dispatcher threads (default 2)
  *     --batch-window-ms N hold dispatch briefly so concurrent requests
  *                         coalesce and batch (default 0 = immediate)
+ *     --watchdog-ms N     fail dispatches stuck longer than N ms with a
+ *                         typed Stalled error (default 0 = off)
+ *     --fault-plan SPEC   arm the deterministic fault injector with a
+ *                         seeded plan, e.g.
+ *                         "seed=7;serve.sock.write=abort@0.05"
+ *                         (chaos testing; needs a THERMCTL_FAULTS build)
+ *
+ * On startup the daemon sweeps its cache directory for leftovers of a
+ * crashed predecessor: orphaned publish temp files are removed and
+ * entries that no longer decode are quarantined, so a crash mid-publish
+ * can never poison later runs.
  *
  * SIGTERM/SIGINT trigger a graceful drain: in-flight requests finish
  * and their replies are delivered, new work is refused with a typed
@@ -33,7 +44,9 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "serve/server.hh"
+#include "sim/sweep.hh"
 
 using namespace thermctl;
 using namespace thermctl::serve;
@@ -48,7 +61,8 @@ usage()
         "usage: thermctl_serve [--socket PATH] [--tcp PORT] [--jobs N]\n"
         "                      [--cache-dir PATH] [--no-cache]\n"
         "                      [--max-queue N] [--dispatchers N]\n"
-        "                      [--batch-window-ms N]\n";
+        "                      [--batch-window-ms N] [--watchdog-ms N]\n"
+        "                      [--fault-plan SPEC]\n";
 }
 
 void
@@ -64,7 +78,8 @@ logStats(const StatsReply &s)
               << " simulated, " << s.cache_hits << " cache hits, "
               << s.coalesced << " coalesced, " << s.rejected_overload
               << " overloaded, " << s.rejected_deadline
-              << " deadline-expired, " << s.failed << " failed\n"
+              << " deadline-expired, " << s.failed << " failed, "
+              << s.stalled << " stalled\n"
               << "thermctl_serve: queue high water " << s.queue_high_water
               << ", latency mean " << s.latency_mean_ms << " ms (p50 "
               << s.latency_p50_ms << ", p90 " << s.latency_p90_ms
@@ -80,6 +95,7 @@ main(int argc, char **argv)
     opts.unix_path = defaultSocketPath();
     const char *no_cache_env = std::getenv("THERMCTL_NO_CACHE");
     opts.sched.sweep.use_cache = !(no_cache_env && no_cache_env[0] == '1');
+    std::string fault_plan_spec;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -115,12 +131,46 @@ main(int argc, char **argv)
                 opts.sched.dispatchers = static_cast<unsigned>(v);
             } else if (arg == "--batch-window-ms") {
                 opts.sched.batch_window_ms = std::stoull(next());
+            } else if (arg == "--watchdog-ms") {
+                opts.sched.watchdog_ms =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--fault-plan") {
+                fault_plan_spec = next();
             } else if (arg == "--help" || arg == "-h") {
                 usage();
                 return 0;
             } else {
                 usage();
                 fatal("unknown option ", arg);
+            }
+        }
+
+        if (!fault_plan_spec.empty()) {
+#if defined(THERMCTL_FAULTS_ENABLED) && THERMCTL_FAULTS_ENABLED
+            const fault::FaultPlan plan =
+                fault::FaultPlan::parse(fault_plan_spec);
+            fault::FaultInjector::instance().arm(plan);
+            std::cerr << "thermctl_serve: fault plan armed: "
+                      << plan.describe() << "\n";
+#else
+            fatal("--fault-plan needs a build with THERMCTL_FAULTS=ON "
+                  "(fault points are compiled out of this binary)");
+#endif
+        }
+
+        // Recover the cache directory from a crashed predecessor before
+        // the first request can read a half-published entry.
+        if (opts.sched.sweep.use_cache) {
+            const std::string cache_dir =
+                opts.sched.sweep.cache_dir.empty()
+                    ? SweepEngine::defaultCacheDir()
+                    : opts.sched.sweep.cache_dir;
+            const CacheRecoveryStats rec = sweepCacheRecover(cache_dir);
+            if (rec.quarantined > 0 || rec.tmp_removed > 0) {
+                std::cerr << "thermctl_serve: cache recovery: scanned "
+                          << rec.scanned << " entries, quarantined "
+                          << rec.quarantined << ", removed "
+                          << rec.tmp_removed << " temp files\n";
             }
         }
 
