@@ -6,7 +6,14 @@
 #                  instrumentation compiled in (THERMCTL_INVARIANTS=ON)
 #   lint           thermctl_lint project-rule linter over src/, tests/,
 #                  bench/, and tools/ with the committed allowlist
-#                  (.thermctl-lint-allow)
+#                  (.thermctl-lint-allow); --ci makes stale allowlist
+#                  entries fail the stage
+#   analyze        thermctl_analyze whole-project static analysis:
+#                  include-graph layering (.thermctl-layers) + cycle
+#                  detection, unchecked must-check returns, and static
+#                  lock-order auditing, with the committed baseline
+#                  (.thermctl-analyze-allow); one invocation over the
+#                  whole tree so cross-file edges are visible
 #   thread-safety  compile with Clang Thread Safety Analysis as errors
 #                  (THERMCTL_THREAD_SAFETY=ON; skipped when clang++ is
 #                  absent)
@@ -46,7 +53,7 @@ cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 base="build-check"
 
-all_stages="format plain lint thread-safety asan serve chaos-smoke tsan fuzz-replay tidy"
+all_stages="format plain lint analyze thread-safety asan serve chaos-smoke tsan fuzz-replay tidy"
 selected="all"
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -95,8 +102,24 @@ if want lint; then
     cmake --build "${base}/plain" -j "${jobs}" --target thermctl_lint
     # tests/, bench/, and tools/ are included so fault-point-scope can
     # see probes that leak outside src/.
-    "${base}/plain/tools/thermctl_lint" \
+    "${base}/plain/tools/thermctl_lint" --ci \
         --allowlist .thermctl-lint-allow src/ tests/ bench/ tools/
+fi
+
+if want analyze; then
+    stage "whole-project analysis (thermctl_analyze over the source tree)"
+    cmake -B "${base}/plain" -S . \
+        -DTHERMCTL_WERROR=ON -DTHERMCTL_INVARIANTS=ON >/dev/null
+    cmake --build "${base}/plain" -j "${jobs}" --target thermctl_analyze
+    # One invocation over the whole tree: the include-graph passes only
+    # see edges between files of the same run. The committed fixture
+    # trees under tests/analyze/fixtures/ contain planted violations
+    # (that is their job), so they are excluded here and covered by
+    # test_analyze instead.
+    "${base}/plain/tools/thermctl_analyze" --ci --json \
+        --layers .thermctl-layers --allowlist .thermctl-analyze-allow \
+        --exclude tests/analyze/fixtures \
+        src/ tools/ tests/ bench/ examples/
 fi
 
 if want thread-safety; then

@@ -30,7 +30,8 @@ std::uint8_t
 ByteReader::u8()
 {
     unsigned char b = 0;
-    take(&b, 1);
+    if (!take(&b, 1))
+        return 0;
     return b;
 }
 

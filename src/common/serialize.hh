@@ -56,8 +56,8 @@ class ByteWriter
         out_.append(s.data(), s.size());
     }
 
-    const std::string &buffer() const { return out_; }
-    std::string take() { return std::move(out_); }
+    [[nodiscard]] const std::string &buffer() const { return out_; }
+    [[nodiscard]] std::string take() { return std::move(out_); }
 
   private:
     std::string out_;
@@ -69,18 +69,21 @@ class ByteReader
   public:
     explicit ByteReader(std::string_view buf) : buf_(buf) {}
 
-    std::uint8_t u8();
-    std::uint32_t u32();
-    std::uint64_t u64();
-    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-    double f64();
-    std::string str();
+    [[nodiscard]] std::uint8_t u8();
+    [[nodiscard]] std::uint32_t u32();
+    [[nodiscard]] std::uint64_t u64();
+    [[nodiscard]] std::int64_t i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+    [[nodiscard]] double f64();
+    [[nodiscard]] std::string str();
 
     /** @return false once any read ran past the end of the buffer. */
-    bool ok() const { return ok_; }
+    [[nodiscard]] bool ok() const { return ok_; }
 
     /** @return true when the whole buffer was consumed successfully. */
-    bool atEnd() const { return ok_ && pos_ == buf_.size(); }
+    [[nodiscard]] bool atEnd() const { return ok_ && pos_ == buf_.size(); }
 
     /**
      * @return bytes left to read (0 once failed).
@@ -90,7 +93,10 @@ class ByteReader
      * cannot legitimately have more than remaining()/k elements, so a
      * hostile count prefix cannot force an oversized allocation.
      */
-    std::size_t remaining() const { return ok_ ? buf_.size() - pos_ : 0; }
+    [[nodiscard]] std::size_t remaining() const
+    {
+        return ok_ ? buf_.size() - pos_ : 0;
+    }
 
   private:
     bool take(void *dst, std::size_t n);

@@ -61,25 +61,25 @@ class ServeClient
     ServeClient &operator=(const ServeClient &) = delete;
 
     /** @return true while the socket is open and usable. */
-    bool connected() const { return fd_ >= 0; }
+    [[nodiscard]] bool connected() const { return fd_ >= 0; }
 
     /**
      * Execute one point on the server. Server-side refusals (overload,
      * drain, unknown names, deadline) return as PointReply.error; a
      * broken connection returns ServeError::Transport and disconnects.
      */
-    PointReply run(const RunRequest &req);
+    [[nodiscard]] PointReply run(const RunRequest &req);
 
     /**
      * Execute a benchmarks x policies grid; replies in grid order.
      * A broken connection yields a single Transport point.
      */
-    SweepReply sweep(const SweepRequest &req);
+    [[nodiscard]] SweepReply sweep(const SweepRequest &req);
 
     /** Probe the server's result cache without simulating. */
-    CacheQueryReply cacheQuery(const CacheQueryRequest &req);
+    [[nodiscard]] CacheQueryReply cacheQuery(const CacheQueryRequest &req);
 
-    StatsReply stats();
+    [[nodiscard]] StatsReply stats();
 
     /**
      * Request a graceful drain: the server finishes in-flight work,
@@ -101,7 +101,7 @@ class ServeClient
      * closing the socket, instead of throwing. Framing violations —
      * a server speaking another protocol — still throw.
      */
-    bool tryRoundTrip(MsgType type, std::string_view payload,
+    [[nodiscard]] bool tryRoundTrip(MsgType type, std::string_view payload,
                       MsgType &reply_type, std::string &reply,
                       std::string &error);
 

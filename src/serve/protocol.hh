@@ -64,7 +64,7 @@ enum class MsgType : std::uint8_t
 };
 
 /** @return true when `t` holds a defined MsgType value. */
-bool msgTypeValid(std::uint8_t t);
+[[nodiscard]] bool msgTypeValid(std::uint8_t t);
 
 /** Typed server-side failure causes. */
 enum class ServeError : std::uint8_t
@@ -104,13 +104,14 @@ enum class FrameStatus
 };
 
 /** @return one complete frame: header + payload. */
-std::string encodeFrame(MsgType type, std::string_view payload);
+[[nodiscard]] std::string encodeFrame(MsgType type, std::string_view payload);
 
 /**
  * Validate and decode a kFrameHeaderBytes-long header.
  * `out` is unspecified unless Ok (except version, set when readable).
  */
-FrameStatus decodeFrameHeader(std::string_view header, FrameHeader &out);
+[[nodiscard]] FrameStatus decodeFrameHeader(std::string_view header,
+                                            FrameHeader &out);
 
 // -------------------------------------------------------------- requests
 
@@ -133,8 +134,9 @@ struct RunRequest
     PointSpec point;
     std::uint64_t deadline_ms = 0; ///< 0 = no deadline
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, RunRequest &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     RunRequest &out);
 };
 
 /** Cartesian benchmarks x policies grid under shared knobs. */
@@ -148,28 +150,32 @@ struct SweepRequest
     std::uint64_t sample_interval = 0;
     std::uint64_t deadline_ms = 0;
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, SweepRequest &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     SweepRequest &out);
 };
 
 struct CacheQueryRequest
 {
     PointSpec point;
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, CacheQueryRequest &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     CacheQueryRequest &out);
 };
 
 struct StatsRequest
 {
-    std::string encode() const;
-    static bool decode(std::string_view payload, StatsRequest &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     StatsRequest &out);
 };
 
 struct DrainRequest
 {
-    std::string encode() const;
-    static bool decode(std::string_view payload, DrainRequest &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     DrainRequest &out);
 };
 
 // --------------------------------------------------------------- replies
@@ -194,16 +200,18 @@ struct RunReply
 {
     PointReply point;
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, RunReply &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     RunReply &out);
 };
 
 struct SweepReply
 {
     std::vector<PointReply> points; ///< grid order: benchmarks x policies
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, SweepReply &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     SweepReply &out);
 };
 
 struct CacheQueryReply
@@ -211,8 +219,9 @@ struct CacheQueryReply
     bool cached = false;
     std::uint64_t digest = 0; ///< content-address of the resolved point
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, CacheQueryReply &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     CacheQueryReply &out);
 };
 
 /** Server counters; see Scheduler/Server stats accessors. */
@@ -241,16 +250,18 @@ struct StatsReply
     double latency_p90_ms = 0.0;
     double latency_p99_ms = 0.0;
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, StatsReply &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     StatsReply &out);
 };
 
 struct DrainReply
 {
     bool was_draining = false; ///< drain had already been requested
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, DrainReply &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     DrainReply &out);
 };
 
 struct ErrorReply
@@ -258,8 +269,9 @@ struct ErrorReply
     ServeError code = ServeError::Internal;
     std::string message;
 
-    std::string encode() const;
-    static bool decode(std::string_view payload, ErrorReply &out);
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     ErrorReply &out);
 };
 
 // ------------------------------------------------------------ framed I/O
@@ -268,7 +280,7 @@ struct ErrorReply
  * Blocking framed send on a connected socket.
  * @return false on any transport error (peer gone, short write).
  */
-bool writeFrame(int fd, MsgType type, std::string_view payload);
+[[nodiscard]] bool writeFrame(int fd, MsgType type, std::string_view payload);
 
 /** Outcome of readFrame. */
 enum class ReadStatus
@@ -284,7 +296,7 @@ enum class ReadStatus
  * On BadFrame, `frame_status` says why (BadVersion lets the server
  * answer with a typed VersionMismatch before closing).
  */
-ReadStatus readFrame(int fd, MsgType &type, std::string &payload,
+[[nodiscard]] ReadStatus readFrame(int fd, MsgType &type, std::string &payload,
                      FrameStatus *frame_status = nullptr);
 
 } // namespace thermctl::serve

@@ -310,7 +310,9 @@ Server::serveConnection(int fd)
                     ? "unsupported wire version (server speaks v"
                           + std::to_string(kWireVersion) + ")"
                     : "malformed frame header";
-            writeFrame(fd, MsgType::ErrorReply, err.encode());
+            // Best-effort courtesy reply: the connection closes on the
+            // next line whether or not the peer ever sees it.
+            (void)writeFrame(fd, MsgType::ErrorReply, err.encode());
             break; // framing is unrecoverable: close
         }
         // A failed reply write leaves the stream mid-frame; the only

@@ -240,8 +240,8 @@ class SweepEngine
  * cache key — two runs share a digest iff the simulator cannot
  * distinguish their configurations.
  */
-std::uint64_t sweepConfigDigest(const SimConfig &cfg,
-                                const RunProtocol &proto);
+[[nodiscard]] std::uint64_t sweepConfigDigest(const SimConfig &cfg,
+                                              const RunProtocol &proto);
 
 /**
  * Format version written as the first byte of serializeRunResult().
@@ -264,22 +264,22 @@ enum class RunResultDecodeStatus
  * FNV-1a checksum over everything before it, so bit corruption anywhere
  * in the buffer is detected rather than decoded into plausible garbage.
  */
-std::string serializeRunResult(const RunResult &result);
+[[nodiscard]] std::string serializeRunResult(const RunResult &result);
 
 /**
  * Inverse of serializeRunResult.
  * `out` is unspecified on any status other than Ok.
  */
-RunResultDecodeStatus deserializeRunResult(std::string_view buffer,
-                                           RunResult &out);
+[[nodiscard]] RunResultDecodeStatus
+deserializeRunResult(std::string_view buffer, RunResult &out);
 
 /**
  * Probe the on-disk result cache for a digest, validating the entry
  * (magic, stored digest, payload version + checksum).
  * @return true and fill `out` only for a fully valid entry.
  */
-bool sweepCacheLookup(const std::string &cache_dir, std::uint64_t digest,
-                      RunResult &out);
+[[nodiscard]] bool sweepCacheLookup(const std::string &cache_dir,
+                                    std::uint64_t digest, RunResult &out);
 
 /** What a cache recovery sweep found (and removed). */
 struct CacheRecoveryStats

@@ -1,0 +1,14 @@
+// Include-cycle fixture: a.hh -> b.hh -> a.hh. test_analyze asserts
+// checkIncludeCycles reports the cycle exactly once.
+
+#ifndef FIXTURE_CYCLE_A_HH
+#define FIXTURE_CYCLE_A_HH
+
+#include "b.hh"
+
+struct A
+{
+    B *peer = nullptr;
+};
+
+#endif // FIXTURE_CYCLE_A_HH

@@ -1,0 +1,13 @@
+// Second half of the planted a.hh <-> b.hh include cycle.
+
+#ifndef FIXTURE_CYCLE_B_HH
+#define FIXTURE_CYCLE_B_HH
+
+#include "a.hh"
+
+struct B
+{
+    A *peer = nullptr;
+};
+
+#endif // FIXTURE_CYCLE_B_HH

@@ -1,0 +1,13 @@
+// The upper layer of the layering fixture; including *this* from low/
+// is the planted violation. Including low/ from here would be fine.
+
+#ifndef FIXTURE_LAYERING_HIGH_APP_HH
+#define FIXTURE_LAYERING_HIGH_APP_HH
+
+inline int
+appValue()
+{
+    return 42;
+}
+
+#endif // FIXTURE_LAYERING_HIGH_APP_HH

@@ -1,0 +1,16 @@
+// Layering-violation fixture: a foundation-layer header reaching *up*
+// into the application layer. test_analyze asserts checkLayering
+// reports exactly this edge under layers.conf.
+
+#ifndef FIXTURE_LAYERING_LOW_UTIL_HH
+#define FIXTURE_LAYERING_LOW_UTIL_HH
+
+#include "high/app.hh"
+
+inline int
+utilValue()
+{
+    return appValue() + 1;
+}
+
+#endif // FIXTURE_LAYERING_LOW_UTIL_HH

@@ -1,0 +1,37 @@
+// Lock-order fixture: the classic AB/BA inversion. updateBoth()
+// acquires state then cache; evictBoth() acquires cache then state.
+// Run concurrently they can deadlock. test_analyze asserts
+// checkLockOrder reports the cycle (and that ../good.cc, which keeps
+// one order everywhere, is clean).
+
+namespace fixture
+{
+
+struct Mutex
+{
+};
+
+struct MutexLock
+{
+    explicit MutexLock(Mutex &m);
+    ~MutexLock();
+};
+
+Mutex g_state_mu;
+Mutex g_cache_mu;
+
+void
+updateBoth()
+{
+    MutexLock state(g_state_mu);
+    MutexLock cache(g_cache_mu);
+}
+
+void
+evictBoth()
+{
+    MutexLock cache(g_cache_mu);
+    MutexLock state(g_state_mu);
+}
+
+} // namespace fixture

@@ -1,0 +1,35 @@
+// The fixed twin of bad.cc: every path acquires g_state_mu before
+// g_cache_mu, so the acquisition graph has one edge and no cycle.
+// test_analyze asserts this file produces no lock-order finding.
+
+namespace fixture
+{
+
+struct Mutex
+{
+};
+
+struct MutexLock
+{
+    explicit MutexLock(Mutex &m);
+    ~MutexLock();
+};
+
+Mutex g_state_mu;
+Mutex g_cache_mu;
+
+void
+updateBoth()
+{
+    MutexLock state(g_state_mu);
+    MutexLock cache(g_cache_mu);
+}
+
+void
+evictBoth()
+{
+    MutexLock state(g_state_mu);
+    MutexLock cache(g_cache_mu);
+}
+
+} // namespace fixture

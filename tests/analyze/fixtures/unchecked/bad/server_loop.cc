@@ -1,0 +1,26 @@
+// Regression fixture: the serve-daemon bug this pass exists to catch.
+//
+// The connection loop once called writeFrame() as a bare statement and
+// dropped the result; a reply that failed mid-frame left the peer
+// waiting forever on a frame that would never complete. test_analyze
+// asserts that checkUncheckedReturns flags the discarded call below
+// (and that the fixed twin in ../good/ is clean).
+
+#include <string>
+
+namespace fixture
+{
+
+bool writeFrame(int fd, int type, const std::string &payload);
+std::string encodeError(const std::string &message);
+
+void
+connectionLoop(int fd)
+{
+    const std::string reply = encodeError("malformed frame header");
+    // BAD: a failed write leaves the stream mid-frame, but the loop
+    // keeps serving the connection as if the reply arrived.
+    writeFrame(fd, 7, reply);
+}
+
+} // namespace fixture

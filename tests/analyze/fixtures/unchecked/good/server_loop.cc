@@ -1,0 +1,27 @@
+// The fixed twin of ../bad/server_loop.cc: every writeFrame result is
+// either handled or explicitly acknowledged with a (void) cast.
+// test_analyze asserts this file produces no unchecked-return finding.
+
+#include <string>
+
+namespace fixture
+{
+
+bool writeFrame(int fd, int type, const std::string &payload);
+std::string encodeError(const std::string &message);
+void closeConnection(int fd);
+
+void
+connectionLoop(int fd)
+{
+    const std::string reply = encodeError("malformed frame header");
+    if (!writeFrame(fd, 7, reply)) {
+        closeConnection(fd);
+        return;
+    }
+    // Best-effort farewell: the connection closes either way, so the
+    // result is deliberately dropped.
+    (void)writeFrame(fd, 8, reply);
+}
+
+} // namespace fixture

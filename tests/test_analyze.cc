@@ -1,0 +1,475 @@
+/**
+ * @file
+ * thermctl-deepcheck unit tests: the project model (include resolution,
+ * symbol index, discard detection), each cross-file pass against the
+ * committed fixture trees under tests/analyze/fixtures/, and the CLI
+ * exit-code contract (findings, allowlist suppression, --ci stale-entry
+ * hard failure — for thermctl_analyze and thermctl_lint both).
+ *
+ * The fixture trees are real files on disk (not embedded snippets) so
+ * the PR-5 ignored-writeFrame regression stays reproducible byte for
+ * byte; THERMCTL_ANALYZE_FIXTURES points at them at compile time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "analyze/analysis.hh"
+#include "lint/lint.hh"
+
+using namespace thermctl::analysis;
+using thermctl::lint::Allowlist;
+using thermctl::lint::Finding;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+fixtureRoot()
+{
+    return THERMCTL_ANALYZE_FIXTURES;
+}
+
+std::string
+readFileOrDie(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open fixture " << p;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Load fixture files as (relative-path, content) pairs. */
+std::vector<std::pair<std::string, std::string>>
+loadFixtures(const std::vector<std::string> &relative)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const std::string &rel : relative)
+        out.emplace_back(rel,
+                         readFileOrDie(fs::path(fixtureRoot()) / rel));
+    return out;
+}
+
+/** Run a shell command, returning its exit status (-1 on signal). */
+int
+runCommand(const std::string &cmd)
+{
+    const int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+/** RAII temp directory for CLI allowlist tests. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        std::string tmpl = (fs::temp_directory_path()
+                            / "thermctl_analyze_test.XXXXXX")
+                               .string();
+        char *made = mkdtemp(tmpl.data());
+        EXPECT_NE(made, nullptr);
+        path = tmpl;
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+void
+writeText(const fs::path &p, const std::string &text)
+{
+    std::ofstream out(p, std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good());
+}
+
+} // namespace
+
+// ---------------------------------------------------------- project model
+
+TEST(AnalyzeModel, ResolvesIncludesOwnDirThenRoots)
+{
+    BuildOptions opts;
+    opts.roots = {""};
+    const ProjectModel model = ProjectModel::build(
+        {{"pkg/a.hh", "#include \"b.hh\"\n#include \"other/c.hh\"\n"
+                      "#include <vector>\n"},
+         {"pkg/b.hh", "struct B {};\n"},
+         {"other/c.hh", "struct C {};\n"}},
+        opts);
+    ASSERT_EQ(model.files().size(), 3u);
+    const SourceFile &a = model.files()[0];
+    // b.hh via the including file's own directory, c.hh via the root;
+    // <vector> is external and produces no edge.
+    ASSERT_EQ(a.edges.size(), 2u);
+    EXPECT_EQ(model.files()[a.edges[0]].path, "pkg/b.hh");
+    EXPECT_EQ(model.files()[a.edges[1]].path, "other/c.hh");
+}
+
+TEST(AnalyzeModel, IndexesDefinitionsDeclarationsAndQualifiedMembers)
+{
+    const ProjectModel model = ProjectModel::build(
+        {{"m.cc", "struct W { void f64(double v); };\n"
+                  "void W::f64(double v) { (void)v; }\n"
+                  "int pickCore();\n"
+                  "bool readPoint(int fd) { return fd >= 0; }\n"}});
+    bool saw_decl = false, saw_qualified = false, saw_def = false;
+    for (const FunctionInfo &fn : model.functions()) {
+        if (fn.name == "f64" && fn.return_type == "void")
+            (fn.line == 2 ? saw_qualified : saw_decl) = true;
+        if (fn.name == "pickCore" && fn.return_type == "int")
+            saw_decl = true;
+        if (fn.name == "readPoint" && fn.return_type == "bool")
+            saw_def = true;
+    }
+    EXPECT_TRUE(saw_decl);
+    EXPECT_TRUE(saw_qualified);
+    EXPECT_TRUE(saw_def);
+}
+
+TEST(AnalyzeModel, HarvestsNodiscardNames)
+{
+    const ProjectModel model = ProjectModel::build(
+        {{"api.hh", "[[nodiscard]] int fetchValue();\n"
+                    "void plainHelper();\n"}});
+    EXPECT_EQ(model.nodiscardNames().count("fetchValue"), 1u);
+    EXPECT_EQ(model.nodiscardNames().count("plainHelper"), 0u);
+}
+
+// ------------------------------------------------------------- layer spec
+
+TEST(AnalyzeLayers, ParsesSpecAndMatchesLongestPrefix)
+{
+    LayerSpec spec;
+    std::string error;
+    ASSERT_TRUE(spec.parse("# comment\n"
+                           "layer base src/common\n"
+                           "layer app src tools\n",
+                           error))
+        << error;
+    ASSERT_EQ(spec.layers().size(), 2u);
+    // src/common/x.hh matches both prefixes; the longer one wins even
+    // though its layer comes first.
+    EXPECT_EQ(spec.layerOf("src/common/logging.hh"), 0);
+    EXPECT_EQ(spec.layerOf("src/sim/simulator.hh"), 1);
+    EXPECT_EQ(spec.layerOf("tools/thermctl_run.cc"), 1);
+    EXPECT_EQ(spec.layerOf("bench/fig.cc"), -1);
+    // Prefixes are component-wise: src/commonX is not under src/common.
+    EXPECT_EQ(spec.layerOf("src/commonX/x.hh"), 1);
+}
+
+TEST(AnalyzeLayers, RejectsMalformedAndDuplicateLines)
+{
+    LayerSpec spec;
+    std::string error;
+    EXPECT_FALSE(spec.parse("layer\n", error));
+    EXPECT_FALSE(spec.parse("tier base src\n", error));
+    EXPECT_FALSE(
+        spec.parse("layer base src\nlayer base tools\n", error));
+}
+
+// --------------------------------------------------- layering + cycles
+
+TEST(AnalyzePasses, FlagsUpwardIncludeAcrossLayers)
+{
+    BuildOptions opts;
+    opts.roots = {""};
+    // Model paths are relative to the layering/ subtree so they line
+    // up with the low/high prefixes in layers.conf.
+    std::vector<std::pair<std::string, std::string>> files;
+    for (const std::string rel : {"low/util.hh", "high/app.hh"})
+        files.emplace_back(rel, readFileOrDie(fs::path(fixtureRoot())
+                                              / "layering" / rel));
+    const ProjectModel model = ProjectModel::build(files, opts);
+
+    LayerSpec spec;
+    std::string error;
+    ASSERT_TRUE(spec.parse(
+        readFileOrDie(fs::path(fixtureRoot()) / "layering/layers.conf"),
+        error))
+        << error;
+
+    const std::vector<Finding> findings = checkLayering(model, spec);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "layering");
+    EXPECT_EQ(findings[0].file, "low/util.hh");
+    EXPECT_NE(findings[0].message.find("high"), std::string::npos);
+}
+
+TEST(AnalyzePasses, DownwardIncludeIsClean)
+{
+    BuildOptions opts;
+    opts.roots = {""};
+    const ProjectModel model = ProjectModel::build(
+        {{"high/app.hh", "#include \"low/util.hh\"\n"},
+         {"low/util.hh", "inline int utilValue() { return 1; }\n"}},
+        opts);
+    LayerSpec spec;
+    std::string error;
+    ASSERT_TRUE(spec.parse("layer low low\nlayer high high\n", error));
+    EXPECT_TRUE(checkLayering(model, spec).empty());
+}
+
+TEST(AnalyzePasses, ReportsPlantedIncludeCycleOnce)
+{
+    BuildOptions opts;
+    opts.roots = {""};
+    const ProjectModel model = ProjectModel::build(
+        loadFixtures({"cycle/a.hh", "cycle/b.hh"}), opts);
+    const std::vector<Finding> findings = checkIncludeCycles(model);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "include-cycle");
+    EXPECT_NE(findings[0].message.find("a.hh"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("b.hh"), std::string::npos);
+}
+
+// ------------------------------------------------------ unchecked-return
+
+TEST(AnalyzePasses, FlagsTheIgnoredWriteFrameRegression)
+{
+    // The PR-5 serve bug, frozen as a fixture: a connection loop that
+    // drops writeFrame's result hung clients on half-written replies.
+    const ProjectModel model = ProjectModel::build(
+        loadFixtures({"unchecked/bad/server_loop.cc"}));
+    const std::vector<Finding> findings =
+        checkUncheckedReturns(model, MustCheckSet::defaults());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unchecked-return");
+    EXPECT_EQ(findings[0].file, "unchecked/bad/server_loop.cc");
+    EXPECT_NE(findings[0].message.find("writeFrame"), std::string::npos);
+}
+
+TEST(AnalyzePasses, FixedServerLoopIsClean)
+{
+    const ProjectModel model = ProjectModel::build(
+        loadFixtures({"unchecked/good/server_loop.cc"}));
+    EXPECT_TRUE(
+        checkUncheckedReturns(model, MustCheckSet::defaults()).empty());
+}
+
+TEST(AnalyzePasses, AcceptsHandledAndVoidCastCalls)
+{
+    const ProjectModel model = ProjectModel::build(
+        {{"ok.cc", "bool writeFrame(int fd);\n"
+                   "bool relay(int fd) {\n"
+                   "    if (!writeFrame(fd)) return false;\n"
+                   "    bool sent = writeFrame(fd);\n"
+                   "    (void)writeFrame(fd);\n"
+                   "    return sent && writeFrame(fd);\n"
+                   "}\n"}});
+    EXPECT_TRUE(
+        checkUncheckedReturns(model, MustCheckSet::defaults()).empty());
+}
+
+TEST(AnalyzePasses, VoidOnlyMustCheckNamesAreExempt)
+{
+    // encodePoint matches the encode* must-check prefix, but every
+    // definition returns void (the writer carries the state), so a bare
+    // call is not a dropped result.
+    const ProjectModel model = ProjectModel::build(
+        {{"proto.cc", "struct W {};\n"
+                      "void encodePoint(W &w);\n"
+                      "void fill(W &w) { encodePoint(w); }\n"}});
+    EXPECT_TRUE(
+        checkUncheckedReturns(model, MustCheckSet::defaults()).empty());
+}
+
+TEST(AnalyzePasses, ProjectNodiscardNamesExtendTheMustCheckSet)
+{
+    const ProjectModel model = ProjectModel::build(
+        {{"api.hh", "[[nodiscard]] int fetchValue();\n"},
+         {"use.cc", "#include \"api.hh\"\n"
+                    "void poll() { fetchValue(); }\n"}});
+    const std::vector<Finding> findings =
+        checkUncheckedReturns(model, MustCheckSet::defaults());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("fetchValue"), std::string::npos);
+}
+
+TEST(AnalyzePasses, NodiscardNameWithVoidOverloadDropsOut)
+{
+    // ByteWriter::str vs the [[nodiscard]] ByteReader::str: a
+    // token-level pass cannot tell the call sites apart, so the name
+    // is left to the compiler's per-overload -Wunused-result.
+    const ProjectModel model = ProjectModel::build(
+        {{"rw.hh", "struct R { [[nodiscard]] int str(); };\n"
+                   "struct W { void str(int v); };\n"},
+         {"use.cc", "#include \"rw.hh\"\n"
+                    "void fill(W &w) { w.str(7); }\n"}});
+    EXPECT_TRUE(
+        checkUncheckedReturns(model, MustCheckSet::defaults()).empty());
+}
+
+TEST(AnalyzeMustCheck, WildcardAndExactEntries)
+{
+    MustCheckSet must;
+    must.add("publishEntry");
+    must.add("encode*");
+    EXPECT_TRUE(must.matches("publishEntry"));
+    EXPECT_TRUE(must.matches("encodeFrame"));
+    EXPECT_FALSE(must.matches("publish"));
+    EXPECT_FALSE(must.matches("reencode"));
+}
+
+// ------------------------------------------------------------ lock order
+
+TEST(AnalyzePasses, FlagsAbBaLockInversion)
+{
+    const ProjectModel model =
+        ProjectModel::build(loadFixtures({"lockorder/bad.cc"}));
+    const std::vector<Finding> findings = checkLockOrder(model);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "lock-order");
+    EXPECT_NE(findings[0].message.find("g_state_mu"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("g_cache_mu"), std::string::npos);
+}
+
+TEST(AnalyzePasses, ConsistentLockOrderIsClean)
+{
+    const ProjectModel model =
+        ProjectModel::build(loadFixtures({"lockorder/good.cc"}));
+    EXPECT_TRUE(checkLockOrder(model).empty());
+}
+
+TEST(AnalyzePasses, RequiresAnnotationSeedsHeldSet)
+{
+    // refill() never acquires g_a itself, but THERMCTL_REQUIRES says
+    // every caller holds it — so its acquisition of g_b is an a->b
+    // edge, and drain() closes the cycle.
+    const ProjectModel model = ProjectModel::build(
+        {{"req.cc",
+          "void refill() THERMCTL_REQUIRES(g_a) { MutexLock b(g_b); }\n"
+          "void drain() { MutexLock b(g_b); MutexLock a(g_a); }\n"}});
+    const std::vector<Finding> findings = checkLockOrder(model);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "lock-order");
+}
+
+// ------------------------------------------------------------ aggregate
+
+TEST(AnalyzeProject, CleanTreeHasNoFindings)
+{
+    BuildOptions opts;
+    opts.roots = {""};
+    const ProjectModel model = ProjectModel::build(
+        loadFixtures({"unchecked/good/server_loop.cc",
+                      "lockorder/good.cc", "layering/high/app.hh"}),
+        opts);
+    LayerSpec spec;
+    std::string error;
+    ASSERT_TRUE(spec.parse("layer base layering\n"
+                           "layer apps unchecked lockorder\n",
+                           error));
+    EXPECT_TRUE(
+        analyzeProject(model, spec, MustCheckSet::defaults()).empty());
+}
+
+TEST(AnalyzeProject, RuleIdsAreStable)
+{
+    const std::vector<std::string> ids = analysisRuleIds();
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "layering"), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "include-cycle"),
+              ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "unchecked-return"),
+              ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "lock-order"), ids.end());
+}
+
+TEST(AnalyzeAllowlist, ParsesAgainstAnalysisRuleIds)
+{
+    Allowlist allow;
+    std::string error;
+    EXPECT_TRUE(allow.parse("lock-order src/sim/sweep.cc justified\n",
+                            analysisRuleIds(), error))
+        << error;
+    // Lint-only ids are invalid here, and vice versa.
+    EXPECT_FALSE(
+        allow.parse("naked-mutex src/x.cc nope\n", analysisRuleIds(),
+                    error));
+}
+
+// ------------------------------------------------------------------- CLI
+
+TEST(AnalyzeCli, ExitCodesAndCiStaleHardFailure)
+{
+    const std::string bad =
+        fixtureRoot() + std::string("/unchecked/bad/server_loop.cc");
+    const std::string good =
+        fixtureRoot() + std::string("/unchecked/good/server_loop.cc");
+
+    TempDir tmp;
+    // Pin an empty layers spec: the CLI otherwise auto-loads
+    // .thermctl-layers from the working directory, whose prefixes can
+    // never match the fixtures' absolute paths.
+    writeText(tmp.path / "layers", "");
+    const std::string bin = std::string(THERMCTL_ANALYZE_BIN)
+                            + " --layers "
+                            + (tmp.path / "layers").string();
+
+    // Findings exit 1; a clean file exits 0.
+    EXPECT_EQ(runCommand(bin + " " + bad + " >/dev/null 2>&1"), 1);
+    EXPECT_EQ(runCommand(bin + " " + good + " >/dev/null 2>&1"), 0);
+
+    // An allowlist entry suppresses the finding.
+    writeText(tmp.path / "allow",
+              "unchecked-return unchecked/bad/server_loop.cc frozen "
+              "regression fixture\n");
+    EXPECT_EQ(runCommand(bin + " --allowlist "
+                         + (tmp.path / "allow").string() + " " + bad
+                         + " >/dev/null 2>&1"),
+              0);
+
+    // The same entry against the *fixed* file is stale: tolerated by
+    // default, a hard failure under --ci.
+    EXPECT_EQ(runCommand(bin + " --allowlist "
+                         + (tmp.path / "allow").string() + " " + good
+                         + " >/dev/null 2>&1"),
+              0);
+    EXPECT_EQ(runCommand(bin + " --ci --allowlist "
+                         + (tmp.path / "allow").string() + " " + good
+                         + " >/dev/null 2>&1"),
+              1);
+
+    // Unknown rule ids in the allowlist are a usage error.
+    writeText(tmp.path / "badallow", "no-such-rule x.cc\n");
+    EXPECT_EQ(runCommand(bin + " --allowlist "
+                         + (tmp.path / "badallow").string() + " " + good
+                         + " >/dev/null 2>&1"),
+              2);
+}
+
+TEST(LintCli, CiMakesStaleAllowlistEntriesFatal)
+{
+    const std::string bin = THERMCTL_LINT_BIN;
+    const std::string clean =
+        fixtureRoot() + std::string("/unchecked/good/server_loop.cc");
+
+    TempDir tmp;
+    writeText(tmp.path / "allow",
+              "naked-mutex src/never/matches.cc long gone\n");
+
+    // Stale entries alone: exit 0 without --ci, exit 1 with it.
+    EXPECT_EQ(runCommand(bin + " --allowlist "
+                         + (tmp.path / "allow").string() + " " + clean
+                         + " >/dev/null 2>&1"),
+              0);
+    EXPECT_EQ(runCommand(bin + " --ci --allowlist "
+                         + (tmp.path / "allow").string() + " " + clean
+                         + " >/dev/null 2>&1"),
+              1);
+}

@@ -83,7 +83,7 @@ TEST(ByteReader, TruncatedFixedWidthReadsFail)
     const std::string full = w.buffer();
     for (std::size_t n = 0; n < full.size(); ++n) {
         ByteReader r(std::string_view(full).substr(0, n));
-        r.u64();
+        (void)r.u64();
         EXPECT_FALSE(r.ok()) << "u64 succeeded on " << n << " bytes";
     }
 
@@ -92,7 +92,7 @@ TEST(ByteReader, TruncatedFixedWidthReadsFail)
     const std::string fbytes = wf.buffer();
     for (std::size_t n = 0; n < fbytes.size(); ++n) {
         ByteReader r(std::string_view(fbytes).substr(0, n));
-        r.f64();
+        (void)r.f64();
         EXPECT_FALSE(r.ok()) << "f64 succeeded on " << n << " bytes";
     }
 }
@@ -164,11 +164,11 @@ TEST(ByteReader, RemainingTracksConsumptionExactly)
     w.u64(3);
     ByteReader r(w.buffer());
     EXPECT_EQ(r.remaining(), 13u);
-    r.u8();
+    (void)r.u8();
     EXPECT_EQ(r.remaining(), 12u);
-    r.u32();
+    (void)r.u32();
     EXPECT_EQ(r.remaining(), 8u);
-    r.u64();
+    (void)r.u64();
     EXPECT_EQ(r.remaining(), 0u);
     EXPECT_TRUE(r.atEnd());
 }
@@ -181,7 +181,7 @@ TEST(ByteReader, RemainingIsZeroOnceFailed)
     ByteWriter w;
     w.u8(0xff);
     ByteReader r(w.buffer());
-    r.u32(); // runs past the end: 1 byte available, 4 wanted
+    (void)r.u32(); // runs past the end: 1 byte available, 4 wanted
     EXPECT_FALSE(r.ok());
     EXPECT_EQ(r.remaining(), 0u);
     EXPECT_FALSE(r.atEnd());

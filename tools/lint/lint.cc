@@ -234,6 +234,14 @@ ruleIds()
 bool
 Allowlist::parse(std::string_view text, std::string &error)
 {
+    return parse(text, ruleIds(), error);
+}
+
+bool
+Allowlist::parse(std::string_view text,
+                 const std::vector<std::string> &valid_ids,
+                 std::string &error)
+{
     entries_.clear();
     int line = 0;
     std::size_t pos = 0;
@@ -250,8 +258,8 @@ Allowlist::parse(std::string_view text, std::string &error)
         fields >> rule;
         if (rule.empty() || rule[0] == '#')
             continue;
-        const auto &ids = ruleIds();
-        if (std::find(ids.begin(), ids.end(), rule) == ids.end()) {
+        if (std::find(valid_ids.begin(), valid_ids.end(), rule)
+            == valid_ids.end()) {
             error = "allowlist line " + std::to_string(line)
                     + ": unknown rule id '" + rule + "'";
             return false;

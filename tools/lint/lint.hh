@@ -105,6 +105,15 @@ class Allowlist
      */
     bool parse(std::string_view text, std::string &error);
 
+    /**
+     * parse() validating rule ids against `valid_ids` instead of the
+     * linter's own ruleIds() — the analyzer (tools/analyze) reuses this
+     * baseline mechanism with its own rule vocabulary.
+     */
+    bool parse(std::string_view text,
+               const std::vector<std::string> &valid_ids,
+               std::string &error);
+
     /** @return true when `f` matches a grandfathered entry. */
     bool allows(const Finding &f) const;
 

@@ -4,12 +4,14 @@
  * directory trees.
  *
  * Usage:
- *   thermctl_lint [--allowlist FILE] [--json] [--list-rules] PATH...
+ *   thermctl_lint [--allowlist FILE] [--json] [--ci] [--list-rules]
+ *                 PATH...
  *
  * Directories are walked recursively for C++ sources (.hh/.hpp/.h/.cc/
  * .cpp). Exit status: 0 clean, 1 findings remain after the allowlist,
- * 2 usage or I/O error. Stale allowlist entries are reported on stderr
- * but do not fail the run.
+ * 2 usage or I/O error. Stale allowlist entries are reported on stderr;
+ * under --ci (the scripts/check.sh mode) they fail the run with exit 1
+ * so a fixed violation cannot leave its grandfathering entry behind.
  */
 
 #include <algorithm>
@@ -50,10 +52,11 @@ readFile(const fs::path &p, std::string &out)
 void
 usage(std::ostream &os)
 {
-    os << "usage: thermctl_lint [--allowlist FILE] [--json] [--list-rules]"
-          " PATH...\n"
+    os << "usage: thermctl_lint [--allowlist FILE] [--json] [--ci]"
+          " [--list-rules] PATH...\n"
           "Lints thermctl C++ sources; directories are walked"
           " recursively.\n"
+          "--ci: stale allowlist entries fail the run (exit 1).\n"
           "Exit: 0 clean, 1 findings, 2 usage/I-O error.\n";
 }
 
@@ -65,11 +68,14 @@ main(int argc, char **argv)
     std::vector<std::string> paths;
     std::string allowlist_path;
     bool json = false;
+    bool ci = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--ci") {
+            ci = true;
         } else if (arg == "--list-rules") {
             for (const std::string &id : ruleIds())
                 std::cout << id << "\n";
@@ -146,8 +152,9 @@ main(int argc, char **argv)
         }
     }
 
-    for (const std::string &stale : allow.unusedEntries())
-        std::cerr << "thermctl_lint: stale allowlist entry: " << stale
+    const std::vector<std::string> stale = allow.unusedEntries();
+    for (const std::string &entry : stale)
+        std::cerr << "thermctl_lint: stale allowlist entry: " << entry
                   << "\n";
 
     if (json)
@@ -159,6 +166,13 @@ main(int argc, char **argv)
         std::cerr << "thermctl_lint: " << findings.size() << " finding"
                   << (findings.size() == 1 ? "" : "s") << " in "
                   << files.size() << " files\n";
+        return 1;
+    }
+    if (ci && !stale.empty()) {
+        std::cerr << "thermctl_lint: --ci: " << stale.size()
+                  << " stale allowlist entr"
+                  << (stale.size() == 1 ? "y" : "ies")
+                  << " (remove them or fix the suffix)\n";
         return 1;
     }
     return 0;
