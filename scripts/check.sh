@@ -24,6 +24,10 @@
 #                  build) under concurrent clients — a duplicate pair
 #                  must coalesce, client output must be bit-identical to
 #                  a direct thermctl_run, and SIGTERM must drain cleanly
+#   loadgen-smoke  open-loop load smoke (ASan+UBSan build): a short
+#                  thermctl_loadgen run against a local daemon on the
+#                  event-driven core must finish with nonzero throughput
+#                  and zero transport/protocol errors
 #   chaos-smoke    randomized chaos soak (ASan+UBSan build): serve +
 #                  retrying clients under a seeded fault plan; every
 #                  request must end in a bit-correct reply or a typed
@@ -53,7 +57,7 @@ cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 base="build-check"
 
-all_stages="format plain lint analyze thread-safety asan serve chaos-smoke tsan fuzz-replay tidy"
+all_stages="format plain lint analyze thread-safety asan serve loadgen-smoke chaos-smoke tsan fuzz-replay tidy"
 selected="all"
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -200,6 +204,52 @@ if want serve; then
         echo "serve smoke: socket not unlinked on shutdown" >&2; exit 1; }
     cat "${smoke_dir}/serve.log"
     rm -rf "${smoke_dir}"
+    trap - EXIT
+fi
+
+if want loadgen-smoke; then
+    stage "loadgen smoke (open loop against the event-driven core)"
+    cmake -B "${base}/asan" -S . \
+        -DTHERMCTL_INVARIANTS=ON \
+        "-DTHERMCTL_SANITIZE=address;undefined" >/dev/null
+    cmake --build "${base}/asan" -j "${jobs}" \
+        --target thermctl_serve_bin thermctl_loadgen
+    lg_dir="$(mktemp -d)"
+    lg_pid=""
+    trap 'if [ -n "${lg_pid}" ]; then kill "${lg_pid}" 2>/dev/null || true; fi; rm -rf "${lg_dir}"' EXIT
+    lg_sock="${lg_dir}/serve.sock"
+    THERMCTL_FAST=1 "${base}/asan/tools/thermctl_serve" \
+        --socket "${lg_sock}" --cache-dir "${lg_dir}/cache" \
+        --jobs 4 --workers 4 2>"${lg_dir}/serve.log" &
+    lg_pid=$!
+    for _ in $(seq 100); do
+        [ -S "${lg_sock}" ] && break
+        sleep 0.1
+    done
+    [ -S "${lg_sock}" ] || { cat "${lg_dir}/serve.log"; exit 1; }
+
+    # Exit 0 already asserts zero transport/protocol errors and zero
+    # refusals; the JSON probe double-checks real throughput happened.
+    THERMCTL_FAST=1 "${base}/asan/tools/thermctl_loadgen" \
+        --socket "${lg_sock}" --rate 30 --conns 2 --duration 3 \
+        --seed 42 --json "${lg_dir}/BENCH_serve.json" \
+        | tee "${lg_dir}/loadgen.out"
+    throughput="$(awk -F': ' '/"throughput_rps"/ {print $2+0}' \
+        "${lg_dir}/BENCH_serve.json")"
+    awk -v t="${throughput:-0}" 'BEGIN { exit (t > 0) ? 0 : 1 }' || {
+        echo "loadgen smoke: throughput is zero" >&2
+        cat "${lg_dir}/serve.log"
+        exit 1
+    }
+
+    kill -TERM "${lg_pid}"
+    if ! wait "${lg_pid}"; then
+        echo "loadgen smoke: daemon did not drain cleanly on SIGTERM" >&2
+        cat "${lg_dir}/serve.log"
+        exit 1
+    fi
+    lg_pid=""
+    rm -rf "${lg_dir}"
     trap - EXIT
 fi
 

@@ -1,0 +1,92 @@
+#include "serve/connect.hh"
+
+#include "common/logging.hh"
+
+namespace thermctl::serve
+{
+
+namespace
+{
+
+/** The concrete client behind connect(): retrying data plane (a single
+ *  attempt when retries are off), strict lazily-connected control
+ *  plane. */
+class UnifiedClient final : public Client
+{
+  public:
+    explicit UnifiedClient(const ClientOptions &opts)
+        : endpoint_(opts.endpoint),
+          data_(opts.endpoint, effectiveBackoff(opts))
+    {
+    }
+
+    PointReply
+    run(const RunRequest &req) override
+    {
+        return data_.run(req);
+    }
+
+    SweepReply
+    sweep(const SweepRequest &req) override
+    {
+        return data_.sweep(req);
+    }
+
+    CacheQueryReply
+    cacheQuery(const CacheQueryRequest &req) override
+    {
+        return control().cacheQuery(req);
+    }
+
+    StatsReply
+    stats() override
+    {
+        return control().stats();
+    }
+
+    bool
+    drain() override
+    {
+        return control().drain();
+    }
+
+    std::uint64_t
+    attemptsTotal() const override
+    {
+        return data_.attemptsTotal();
+    }
+
+  private:
+    static BackoffConfig
+    effectiveBackoff(const ClientOptions &opts)
+    {
+        BackoffConfig config = opts.backoff;
+        if (!opts.retry)
+            config.max_attempts = 1;
+        return config;
+    }
+
+    ServeClient &
+    control()
+    {
+        if (!control_.connected())
+            control_ = ServeClient::connect(endpoint_);
+        return control_;
+    }
+
+    std::string endpoint_;
+    RetryingClient data_;
+    ServeClient control_;
+};
+
+} // namespace
+
+std::unique_ptr<Client>
+connect(const ClientOptions &opts)
+{
+    if (opts.endpoint.empty())
+        fatal("serve: connect: empty endpoint");
+    return std::make_unique<UnifiedClient>(opts);
+}
+
+} // namespace thermctl::serve

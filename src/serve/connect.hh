@@ -1,0 +1,83 @@
+/**
+ * @file
+ * One front door for serve-layer clients.
+ *
+ * ServeClient (one socket, no retries) and RetryingClient (reconnect +
+ * backoff) used to leak into every caller as an if/else on retry mode.
+ * connect(ClientOptions) hides the split behind a single Client
+ * interface: data-plane calls (run/sweep) go through the retry policy
+ * — with retries disabled that policy degenerates to exactly one
+ * attempt, which is the plain client — and control-plane calls
+ * (cacheQuery/stats/drain) keep ServeClient's strict semantics, where
+ * a transport failure throws FatalError instead of being retried
+ * (draining a server twice because the first reply got lost is not
+ * idempotent in effect, even if the frame is).
+ *
+ * thermctl_client, the chaos soak, and thermctl_loadgen all build a
+ * ClientOptions and stop caring which concrete client answers.
+ */
+
+#ifndef THERMCTL_SERVE_CONNECT_HH
+#define THERMCTL_SERVE_CONNECT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "serve/retry.hh"
+
+namespace thermctl::serve
+{
+
+/** How to reach a server and how hard to try. */
+struct ClientOptions
+{
+    /** "unix:PATH", "tcp:HOST:PORT", or a bare Unix socket path. */
+    std::string endpoint;
+
+    /** Retry idempotent data-plane calls (run/sweep) with backoff. */
+    bool retry = true;
+
+    /** Retry policy knobs; ignored except max_attempts=1 when !retry. */
+    BackoffConfig backoff;
+};
+
+/**
+ * What every serve-layer caller programs against. Connections are
+ * established lazily (first call), so constructing a Client against a
+ * not-yet-listening server is fine when retries are on.
+ */
+class Client
+{
+  public:
+    virtual ~Client() = default;
+
+    /** Execute one point; server refusals come back as typed errors. */
+    virtual PointReply run(const RunRequest &req) = 0;
+
+    /** Execute a benchmarks x policies grid; replies in grid order. */
+    virtual SweepReply sweep(const SweepRequest &req) = 0;
+
+    /** Probe the server's result cache without simulating. */
+    virtual CacheQueryReply cacheQuery(const CacheQueryRequest &req) = 0;
+
+    /** Server counters snapshot. */
+    virtual StatsReply stats() = 0;
+
+    /**
+     * Request a graceful drain.
+     * @return true when the server was already draining.
+     */
+    virtual bool drain() = 0;
+
+    /** Data-plane attempts across all calls (telemetry). */
+    virtual std::uint64_t attemptsTotal() const = 0;
+};
+
+/** Build a Client for `opts`. Fatal on a malformed endpoint. */
+[[nodiscard]] std::unique_ptr<Client> connect(const ClientOptions &opts);
+
+} // namespace thermctl::serve
+
+#endif // THERMCTL_SERVE_CONNECT_HH

@@ -218,6 +218,42 @@ decodeFrameHeader(std::string_view header, FrameHeader &out)
     return FrameStatus::Ok;
 }
 
+FrameAssembler::Next
+FrameAssembler::next(MsgType &type, std::string &payload,
+                     FrameStatus *why)
+{
+    if (bad_) {
+        if (why)
+            *why = FrameStatus::BadMagic;
+        return Next::Bad;
+    }
+    if (buffered() < kFrameHeaderBytes)
+        return Next::NeedMore;
+
+    FrameHeader h;
+    const FrameStatus fs = decodeFrameHeader(
+        std::string_view(buf_).substr(pos_, kFrameHeaderBytes), h);
+    if (why)
+        *why = fs;
+    if (fs != FrameStatus::Ok) {
+        bad_ = true;
+        return Next::Bad;
+    }
+    if (buffered() < kFrameHeaderBytes + h.payload_len)
+        return Next::NeedMore;
+
+    type = h.type;
+    payload.assign(buf_, pos_ + kFrameHeaderBytes, h.payload_len);
+    pos_ += kFrameHeaderBytes + h.payload_len;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not accrete every frame it ever carried.
+    if (pos_ >= 4096 && pos_ * 2 >= buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    return Next::Frame;
+}
+
 // -------------------------------------------------------------- requests
 
 std::string

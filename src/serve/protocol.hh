@@ -113,6 +113,49 @@ enum class FrameStatus
 [[nodiscard]] FrameStatus decodeFrameHeader(std::string_view header,
                                             FrameHeader &out);
 
+/**
+ * Incremental frame assembly over a byte stream.
+ *
+ * The event-driven server and the load generator receive bytes in
+ * arbitrary chunks (whatever recv() delivers); a FrameAssembler buffers
+ * them and hands back complete frames as they materialize. Feeding and
+ * extraction are decoupled so a single recv() burst can yield zero,
+ * one, or many frames.
+ *
+ * A header that fails validation poisons the assembler (Bad is sticky):
+ * once framing is lost there is no way to resynchronize the stream, so
+ * the only safe reaction is to report the reason and close.
+ */
+class FrameAssembler
+{
+  public:
+    /** Outcome of one extraction attempt. */
+    enum class Next
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< `type`/`payload` hold one complete frame
+        Bad,      ///< framing lost (see `why`); sticky
+    };
+
+    /** Append raw received bytes. */
+    void feed(std::string_view bytes) { buf_.append(bytes); }
+
+    /**
+     * Try to extract the next complete frame.
+     * On Bad, `why` (when non-null) says what the header failed.
+     */
+    [[nodiscard]] Next next(MsgType &type, std::string &payload,
+                            FrameStatus *why = nullptr);
+
+    /** Bytes buffered but not yet consumed (flow-control input). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0; ///< consumed prefix of buf_
+    bool bad_ = false;
+};
+
 // -------------------------------------------------------------- requests
 
 /**

@@ -1,6 +1,7 @@
 #include "serve/server.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -11,6 +12,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/mutex.hh"
@@ -22,8 +24,9 @@ namespace thermctl::serve
 namespace
 {
 
-/** Poll period of connection threads: drain-notice latency bound. */
-constexpr int kConnPollMs = 100;
+/** recv() chunk; also the per-readiness read bound while a conn is
+ *  not busy (flow control caps buffered-but-undispatched bytes). */
+constexpr std::size_t kReadChunk = 16384;
 
 void
 closeFd(int &fd)
@@ -32,6 +35,24 @@ closeFd(int &fd)
         ::close(fd);
         fd = -1;
     }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int
+clampTimeoutMs(std::int64_t ms)
+{
+    if (ms < 0)
+        return 0;
+    if (ms > std::numeric_limits<int>::max())
+        return std::numeric_limits<int>::max();
+    return static_cast<int>(ms);
 }
 
 } // namespace
@@ -46,8 +67,65 @@ defaultSocketPath()
     return "/tmp/thermctl-" + std::to_string(::getuid()) + ".sock";
 }
 
+void
+ServerOptions::validate() const
+{
+    if (unix_path.empty() && !tcp)
+        fatal("serve: no listener configured (unix path empty, tcp off)");
+    if (tcp_port < 0 || tcp_port > 65535)
+        fatal("serve: tcp port out of range: ", tcp_port);
+    if (backlog <= 0)
+        fatal("serve: backlog must be positive");
+    if (max_queue == 0)
+        fatal("serve: max queue depth must be positive");
+    if (dispatchers == 0)
+        fatal("serve: dispatcher count must be positive");
+    if (workers == 0)
+        fatal("serve: worker count must be positive");
+    if (max_write_buffer == 0)
+        fatal("serve: max write buffer must be positive");
+    if (sndbuf < 0)
+        fatal("serve: sndbuf must be non-negative");
+    if (!fault_plan.empty()) {
+        fault::FaultPlan plan;
+        std::string error;
+        if (!fault::FaultPlan::tryParse(fault_plan, plan, error))
+            fatal("serve: bad fault plan: ", error);
+    }
+}
+
+Scheduler::Options
+ServerOptions::schedulerOptions() const
+{
+    Scheduler::Options sched;
+    sched.sweep = sweep;
+    sched.max_queue = max_queue;
+    sched.dispatchers = dispatchers;
+    sched.batch_window_ms = batch_window_ms;
+    sched.watchdog_ms = watchdog_ms;
+    return sched;
+}
+
+ServerOptions
+legacyServerOptions(const LegacyServerOptions &legacy)
+{
+    ServerOptions opts;
+    opts.unix_path = legacy.unix_path;
+    opts.tcp = legacy.tcp;
+    opts.tcp_port = legacy.tcp_port;
+    opts.backlog = legacy.backlog;
+    opts.base = legacy.base;
+    opts.sweep = legacy.sched.sweep;
+    opts.max_queue = legacy.sched.max_queue;
+    opts.dispatchers = legacy.sched.dispatchers;
+    opts.batch_window_ms = legacy.sched.batch_window_ms;
+    opts.watchdog_ms = legacy.sched.watchdog_ms;
+    return opts;
+}
+
 Server::Server(const ServerOptions &opts)
-    : opts_(opts), sched_(std::make_unique<Scheduler>(opts.sched)),
+    : opts_(opts),
+      sched_(std::make_unique<Scheduler>(opts.schedulerOptions())),
       started_(std::chrono::steady_clock::now())
 {
 }
@@ -60,11 +138,16 @@ Server::~Server()
 void
 Server::start()
 {
-    if (opts_.unix_path.empty() && !opts_.tcp)
-        fatal("serve: no listener configured (unix path empty, tcp off)");
+    opts_.validate();
+
+    if (!opts_.fault_plan.empty())
+        fault::FaultInjector::instance().arm(
+            fault::FaultPlan::parse(opts_.fault_plan));
 
     if (::pipe(wake_pipe_) != 0)
         fatal("serve: pipe: ", std::strerror(errno));
+    setNonBlocking(wake_pipe_[0]);
+    setNonBlocking(wake_pipe_[1]);
 
     if (!opts_.unix_path.empty()) {
         unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -85,6 +168,7 @@ Server::start()
         }
         if (::listen(unix_fd_, opts_.backlog) != 0)
             fatal("serve: listen: ", std::strerror(errno));
+        setNonBlocking(unix_fd_);
     }
 
     if (opts_.tcp) {
@@ -112,9 +196,13 @@ Server::start()
         ::getsockname(tcp_fd_, reinterpret_cast<sockaddr *>(&bound),
                       &len);
         tcp_port_ = ntohs(bound.sin_port);
+        setNonBlocking(tcp_fd_);
     }
 
-    accept_thread_ = std::thread([this] { acceptLoop(); });
+    workers_.reserve(opts_.workers);
+    for (unsigned i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    loop_thread_ = std::thread([this] { eventLoop(); });
 }
 
 void
@@ -125,11 +213,7 @@ Server::beginDrain()
         return;
     // Refuse new submissions right away; queued work keeps running.
     sched_->beginDrain();
-    // Wake the accept poll so it stops accepting promptly.
-    if (wake_pipe_[1] >= 0) {
-        const char b = 1;
-        [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
-    }
+    wakeLoop();
     MutexLock lock(drain_mutex_);
     drain_cv_.notify_all();
 }
@@ -149,29 +233,33 @@ Server::shutdown()
         return;
     beginDrain();
 
-    if (accept_thread_.joinable())
-        accept_thread_.join();
+    // The loop owns every socket: it finishes flushing replies (bounded
+    // by drain_flush_ms), closes connections, and exits.
+    if (loop_thread_.joinable())
+        loop_thread_.join();
     closeFd(unix_fd_);
     closeFd(tcp_fd_);
     if (!opts_.unix_path.empty())
         ::unlink(opts_.unix_path.c_str());
 
-    // Every admitted request finishes and its reply is delivered before
-    // connection threads exit (they observe draining_ between frames).
-    sched_->beginDrain();
+    // Let every admitted point finish so workers blocked on scheduler
+    // futures wake up, then release the pool.
     sched_->awaitIdle();
-
-    std::vector<std::thread> threads;
     {
-        MutexLock lock(conn_mutex_);
-        threads.swap(conn_threads_);
+        MutexLock lock(work_mutex_);
+        workers_stop_ = true;
+        work_cv_.notify_all();
     }
-    for (auto &t : threads)
-        t.join();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
 
     sched_->stop();
     closeFd(wake_pipe_[0]);
     closeFd(wake_pipe_[1]);
+
+    if (!opts_.fault_plan.empty())
+        fault::FaultInjector::instance().disarm();
 }
 
 StatsReply
@@ -208,123 +296,400 @@ Server::statsSnapshot() const
 }
 
 void
-Server::acceptLoop()
+Server::wakeLoop()
 {
+    if (wake_pipe_[1] >= 0) {
+        const char b = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+    }
+}
+
+// ------------------------------------------------------------ event loop
+
+void
+Server::eventLoop()
+{
+    bool drain_seen = false;
+
     for (;;) {
-        pollfd fds[3];
-        nfds_t n = 0;
+        const bool draining = draining_.load();
+        if (draining && !drain_seen) {
+            drain_seen = true;
+            drain_started_ = Clock::now();
+        }
+
+        // ---- build the poll set
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> fd_conn; // parallel; 0 = not a conn
+        fds.push_back({wake_pipe_[0], POLLIN, 0});
+        fd_conn.push_back(0);
         int unix_slot = -1, tcp_slot = -1;
-        if (unix_fd_ >= 0) {
-            unix_slot = static_cast<int>(n);
-            fds[n++] = {unix_fd_, POLLIN, 0};
+        if (!draining) {
+            if (unix_fd_ >= 0) {
+                unix_slot = static_cast<int>(fds.size());
+                fds.push_back({unix_fd_, POLLIN, 0});
+                fd_conn.push_back(0);
+            }
+            if (tcp_fd_ >= 0) {
+                tcp_slot = static_cast<int>(fds.size());
+                fds.push_back({tcp_fd_, POLLIN, 0});
+                fd_conn.push_back(0);
+            }
         }
-        if (tcp_fd_ >= 0) {
-            tcp_slot = static_cast<int>(n);
-            fds[n++] = {tcp_fd_, POLLIN, 0};
+        for (auto &[id, conn] : conns_) {
+            short events = 0;
+            if (pending(*conn) > 0)
+                events |= POLLOUT;
+            // Readability is the flow-control valve: closed while a
+            // request executes, while the write buffer is over the high
+            // water, and during drain (no new requests admitted).
+            if (!conn->busy && !draining && !conn->close_after_flush
+                && conn->wbuf.size() - conn->woff
+                       < opts_.max_write_buffer) {
+                events |= POLLIN;
+            }
+            // events == 0 still reports POLLERR/POLLHUP.
+            fds.push_back({conn->fd, events, 0});
+            fd_conn.push_back(id);
         }
-        fds[n++] = {wake_pipe_[0], POLLIN, 0};
 
-        const int rc = ::poll(fds, n, -1);
-        if (draining_.load())
-            return;
-        if (rc < 0) {
-            if (errno == EINTR)
-                continue;
+        // ---- compute the poll timeout
+        int timeout = -1;
+        const Clock::time_point now = Clock::now();
+        if (draining) {
+            const auto deadline =
+                drain_started_
+                + std::chrono::milliseconds(opts_.drain_flush_ms);
+            timeout = clampTimeoutMs(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now)
+                    .count());
+        } else if (opts_.idle_timeout_ms > 0 && !conns_.empty()) {
+            std::int64_t soonest =
+                std::numeric_limits<std::int64_t>::max();
+            for (const auto &[id, conn] : conns_) {
+                if (conn->busy)
+                    continue; // an executing request is not idle
+                const auto deadline =
+                    conn->last_activity
+                    + std::chrono::milliseconds(opts_.idle_timeout_ms);
+                soonest = std::min(
+                    soonest,
+                    static_cast<std::int64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline - now)
+                            .count()));
+            }
+            if (soonest != std::numeric_limits<std::int64_t>::max())
+                timeout = clampTimeoutMs(soonest);
+        }
+
+        const int rc = ::poll(fds.data(), fds.size(), timeout);
+        if (rc < 0 && errno != EINTR) {
             warn("serve: poll: ", std::strerror(errno));
-            return;
+            break;
         }
 
-        reapFinishedConnections();
+        // ---- drain the wakeup pipe
+        if (rc > 0 && (fds[0].revents & POLLIN)) {
+            char buf[64];
+            while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+            }
+        }
 
+        processCompletions();
+
+        // ---- accept new connections
         for (int slot : {unix_slot, tcp_slot}) {
-            if (slot < 0 || !(fds[slot].revents & POLLIN))
+            if (slot >= 0 && (fds[slot].revents & POLLIN))
+                acceptReady(fds[slot].fd);
+        }
+
+        // ---- service connection readiness
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fd_conn[i] == 0)
                 continue;
-            const int fd = ::accept(fds[slot].fd, nullptr, nullptr);
-            if (fd < 0)
-                continue;
-            if (THERMCTL_FAULT_POINT("serve.accept").abort()) {
-                // Drop the connection before it is serviced; the peer
-                // sees a clean close and must reconnect.
-                ::close(fd);
+            auto it = conns_.find(fd_conn[i]);
+            if (it == conns_.end())
+                continue; // closed by an earlier step this iteration
+            Conn &conn = *it->second;
+            const short re = fds[i].revents;
+            if (re & (POLLERR | POLLNVAL)) {
+                closeConn(conn);
                 continue;
             }
-            // Bound mid-frame reads so a stalled peer cannot wedge a
-            // connection thread (and with it, shutdown) forever.
-            const timeval tv{10, 0};
-            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-            connections_accepted_++;
-            active_connections_++;
-            MutexLock lock(conn_mutex_);
-            conn_threads_.emplace_back(
-                [this, fd] { serveConnection(fd); });
+            if (re & POLLOUT) {
+                if (!flushConn(conn))
+                    continue;
+                // Dropping below the high water may unblock a buffered
+                // request the backpressure gate had parked.
+                tryDispatch(conn);
+            }
+            // POLLHUP still allows reading what the peer sent before
+            // closing; recv() returning 0 finishes the close.
+            if ((re & (POLLIN | POLLHUP)) && !readReady(conn))
+                continue;
         }
+
+        // ---- idle eviction
+        if (!draining && opts_.idle_timeout_ms > 0) {
+            const Clock::time_point cutoff =
+                Clock::now()
+                - std::chrono::milliseconds(opts_.idle_timeout_ms);
+            for (auto it = conns_.begin(); it != conns_.end();) {
+                Conn &conn = *it->second;
+                ++it; // closeConn erases
+                if (!conn.busy && conn.last_activity <= cutoff) {
+                    idle_evicted_++;
+                    closeConn(conn);
+                }
+            }
+        }
+
+        // ---- drain: flush what we owe, then leave
+        if (draining) {
+            for (auto it = conns_.begin(); it != conns_.end();) {
+                Conn &conn = *it->second;
+                ++it;
+                if (!conn.busy && pending(conn) == 0)
+                    closeConn(conn);
+            }
+            if (conns_.empty())
+                break;
+            if (Clock::now() - drain_started_
+                >= std::chrono::milliseconds(opts_.drain_flush_ms)) {
+                warn("serve: drain flush budget exhausted; dropping ",
+                     conns_.size(), " connection(s)");
+                break;
+            }
+        }
+    }
+
+    // Whatever survives (drain deadline, poll failure) closes now; a
+    // late completion for one of these connections is simply dropped.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn &conn = *it->second;
+        ++it;
+        closeConn(conn);
     }
 }
 
-/** Join connection threads that announced completion (bounds growth). */
 void
-Server::reapFinishedConnections()
-{
-    MutexLock lock(conn_mutex_);
-    for (std::thread::id id : finished_conn_ids_) {
-        auto it = std::find_if(conn_threads_.begin(), conn_threads_.end(),
-                               [id](const std::thread &t) {
-                                   return t.get_id() == id;
-                               });
-        if (it != conn_threads_.end()) {
-            it->join();
-            conn_threads_.erase(it);
-        }
-    }
-    finished_conn_ids_.clear();
-}
-
-void
-Server::serveConnection(int fd)
+Server::acceptReady(int listen_fd)
 {
     for (;;) {
-        // Poll between frames so an idle connection notices a drain
-        // without being force-closed mid-reply.
-        pollfd pfd{fd, POLLIN, 0};
-        const int rc = ::poll(&pfd, 1, kConnPollMs);
-        if (draining_.load())
-            break;
-        if (rc < 0 && errno != EINTR)
-            break;
-        if (rc <= 0)
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            break; // EAGAIN, or transient error: poll again
+        if (THERMCTL_FAULT_POINT("serve.accept").abort()) {
+            // Drop the connection before it is serviced; the peer
+            // sees a clean close and must reconnect.
+            ::close(fd);
             continue;
-
-        MsgType type;
-        std::string payload;
-        FrameStatus fs = FrameStatus::Ok;
-        const ReadStatus rs = readFrame(fd, type, payload, &fs);
-        if (rs == ReadStatus::Eof || rs == ReadStatus::Transport)
-            break;
-        if (rs == ReadStatus::BadFrame) {
-            ErrorReply err;
-            err.code = fs == FrameStatus::BadVersion
-                           ? ServeError::VersionMismatch
-                           : ServeError::BadRequest;
-            err.message =
-                fs == FrameStatus::BadVersion
-                    ? "unsupported wire version (server speaks v"
-                          + std::to_string(kWireVersion) + ")"
-                    : "malformed frame header";
-            // Best-effort courtesy reply: the connection closes on the
-            // next line whether or not the peer ever sees it.
-            (void)writeFrame(fd, MsgType::ErrorReply, err.encode());
-            break; // framing is unrecoverable: close
         }
-        // A failed reply write leaves the stream mid-frame; the only
-        // safe move is to close so the peer sees EOF and retries,
-        // rather than waiting forever on a reply that will never come.
-        if (!handleFrame(fd, type, payload))
-            break;
+        setNonBlocking(fd);
+        if (opts_.sndbuf > 0) {
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.sndbuf,
+                         sizeof(opts_.sndbuf));
+        }
+        connections_accepted_++;
+        active_connections_++;
+        auto conn = std::make_unique<Conn>();
+        conn->id = next_conn_id_++;
+        conn->fd = fd;
+        conn->last_activity = Clock::now();
+        conns_.emplace(conn->id, std::move(conn));
     }
-    ::close(fd);
+}
+
+bool
+Server::readReady(Conn &conn)
+{
+    char buf[kReadChunk];
+    for (;;) {
+        if (conn.busy)
+            return true; // flow control: one request at a time
+        const fault::FaultDecision d =
+            THERMCTL_FAULT_POINT("serve.sock.read");
+        if (d.abort()) {
+            closeConn(conn); // injected ECONNRESET
+            return false;
+        }
+        if (d.stall()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(d.stall_ms));
+        }
+        if (d.eintr())
+            continue; // as if recv() returned EINTR
+        const std::size_t want = d.shortIo() ? 1 : sizeof(buf);
+        const ssize_t n = ::recv(conn.fd, buf, want, 0);
+        if (n == 0) {
+            closeConn(conn); // peer closed
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            if (errno == EINTR)
+                continue;
+            closeConn(conn);
+            return false;
+        }
+        conn.assembler.feed(
+            std::string_view(buf, static_cast<std::size_t>(n)));
+        conn.last_activity = Clock::now();
+        tryDispatch(conn);
+        if (conn.close_after_flush)
+            return true; // framing lost: stop reading, flush the error
+    }
+}
+
+bool
+Server::flushConn(Conn &conn)
+{
+    while (pending(conn) > 0) {
+        const fault::FaultDecision d =
+            THERMCTL_FAULT_POINT("serve.sock.write");
+        if (d.abort()) {
+            closeConn(conn); // injected EPIPE
+            return false;
+        }
+        if (d.stall()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(d.stall_ms));
+        }
+        if (d.eintr())
+            continue; // as if send() returned EINTR
+        const std::size_t len = d.shortIo() ? 1 : pending(conn);
+        const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                                 len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true; // kernel buffer full: wait for POLLOUT
+            if (errno == EINTR)
+                continue;
+            closeConn(conn);
+            return false;
+        }
+        conn.woff += static_cast<std::size_t>(n);
+        conn.last_activity = Clock::now();
+    }
+    conn.wbuf.clear();
+    conn.woff = 0;
+    if (conn.close_after_flush) {
+        closeConn(conn);
+        return false;
+    }
+    return true;
+}
+
+void
+Server::tryDispatch(Conn &conn)
+{
+    if (conn.busy || conn.close_after_flush || draining_.load())
+        return;
+    // Backpressure: while the peer is not draining replies, no new
+    // work is executed for it, even if requests are already buffered.
+    if (pending(conn) >= opts_.max_write_buffer)
+        return;
+    MsgType type;
+    std::string payload;
+    FrameStatus fs = FrameStatus::Ok;
+    switch (conn.assembler.next(type, payload, &fs)) {
+      case FrameAssembler::Next::NeedMore:
+        return;
+      case FrameAssembler::Next::Bad: {
+        ErrorReply err;
+        err.code = fs == FrameStatus::BadVersion
+                       ? ServeError::VersionMismatch
+                       : ServeError::BadRequest;
+        err.message =
+            fs == FrameStatus::BadVersion
+                ? "unsupported wire version (server speaks v"
+                      + std::to_string(kWireVersion) + ")"
+                : "malformed frame header";
+        // Best-effort courtesy reply; framing is unrecoverable, so the
+        // connection closes once these bytes are out.
+        conn.wbuf += encodeFrame(MsgType::ErrorReply, err.encode());
+        conn.close_after_flush = true;
+        (void)flushConn(conn);
+        return;
+      }
+      case FrameAssembler::Next::Frame:
+        break;
+    }
+    conn.busy = true;
+    {
+        MutexLock lock(work_mutex_);
+        work_queue_.push_back(
+            Work{conn.id, type, std::move(payload)});
+        work_cv_.notify_one();
+    }
+}
+
+void
+Server::processCompletions()
+{
+    std::deque<Completion> done;
+    {
+        MutexLock lock(done_mutex_);
+        done.swap(done_queue_);
+    }
+    bool drain_after = false;
+    for (auto &c : done) {
+        auto it = conns_.find(c.conn_id);
+        if (it == conns_.end())
+            continue; // connection died while its request ran
+        Conn &conn = *it->second;
+        conn.busy = false;
+        conn.wbuf += c.frame;
+        conn.last_activity = Clock::now();
+        if (c.drain_after) {
+            // DrainRequest: deliver the reply, then close; the drain
+            // itself starts once every completion is applied.
+            conn.close_after_flush = true;
+            drain_after = true;
+        }
+        if (!flushConn(conn))
+            continue;
+        // The peer may have pipelined the next request already.
+        tryDispatch(conn);
+    }
+    if (drain_after)
+        beginDrain();
+}
+
+void
+Server::closeConn(Conn &conn)
+{
+    ::close(conn.fd);
     active_connections_--;
-    MutexLock lock(conn_mutex_);
-    finished_conn_ids_.push_back(std::this_thread::get_id());
+    conns_.erase(conn.id); // destroys conn
+}
+
+// ----------------------------------------------------------- worker pool
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        Work work;
+        {
+            MutexLock lock(work_mutex_);
+            while (work_queue_.empty() && !workers_stop_)
+                work_cv_.wait(work_mutex_);
+            if (work_queue_.empty())
+                return; // workers_stop_ and nothing left
+            work = std::move(work_queue_.front());
+            work_queue_.pop_front();
+        }
+        Completion done = executeFrame(work);
+        {
+            MutexLock lock(done_mutex_);
+            done_queue_.push_back(std::move(done));
+        }
+        wakeLoop();
+    }
 }
 
 PointReply
@@ -343,23 +708,27 @@ Server::awaitTicket(Scheduler::Ticket ticket)
     return p;
 }
 
-bool
-Server::handleFrame(int fd, MsgType type, const std::string &payload)
+Server::Completion
+Server::executeFrame(const Work &work)
 {
     requests_total_++;
+
+    Completion done;
+    done.conn_id = work.conn_id;
 
     auto badRequest = [&](const std::string &msg) {
         ErrorReply err;
         err.code = ServeError::BadRequest;
         err.message = msg;
-        return writeFrame(fd, MsgType::ErrorReply, err.encode());
+        done.frame = encodeFrame(MsgType::ErrorReply, err.encode());
+        return done;
     };
 
-    switch (type) {
+    switch (work.type) {
       case MsgType::RunRequest: {
         run_requests_++;
         RunRequest req;
-        if (!RunRequest::decode(payload, req))
+        if (!RunRequest::decode(work.payload, req))
             return badRequest("undecodable RunRequest payload");
         RunReply reply;
         try {
@@ -370,14 +739,15 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
             reply.point.error = ServeError::BadRequest;
             reply.point.message = e.what();
         }
-        return writeFrame(fd, MsgType::RunReply, reply.encode());
+        done.frame = encodeFrame(MsgType::RunReply, reply.encode());
+        return done;
       }
 
       case MsgType::SweepRequest: {
         sweep_requests_++;
         SweepRequest req;
-        if (!SweepRequest::decode(payload, req) || req.benchmarks.empty()
-            || req.policies.empty()) {
+        if (!SweepRequest::decode(work.payload, req)
+            || req.benchmarks.empty() || req.policies.empty()) {
             return badRequest("undecodable or empty SweepRequest payload");
         }
         // Submit the whole grid before waiting on any point so the
@@ -426,23 +796,24 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
                 reply.points.push_back(std::move(p));
             }
         }
-        return writeFrame(fd, MsgType::SweepReply, reply.encode());
+        done.frame = encodeFrame(MsgType::SweepReply, reply.encode());
+        return done;
       }
 
       case MsgType::CacheQueryRequest: {
         cache_queries_++;
         CacheQueryRequest req;
-        if (!CacheQueryRequest::decode(payload, req))
+        if (!CacheQueryRequest::decode(work.payload, req))
             return badRequest("undecodable CacheQueryRequest payload");
         CacheQueryReply reply;
         try {
             const ResolvedPoint pt = resolvePoint(req.point, opts_.base);
             reply.digest = pt.digest;
-            if (opts_.sched.sweep.use_cache) {
+            if (opts_.sweep.use_cache) {
                 const std::string dir =
-                    opts_.sched.sweep.cache_dir.empty()
+                    opts_.sweep.cache_dir.empty()
                         ? SweepEngine::defaultCacheDir()
-                        : opts_.sched.sweep.cache_dir;
+                        : opts_.sweep.cache_dir;
                 RunResult ignored;
                 reply.cached =
                     sweepCacheLookup(dir, pt.digest, ignored);
@@ -450,29 +821,29 @@ Server::handleFrame(int fd, MsgType type, const std::string &payload)
         } catch (const FatalError &e) {
             return badRequest(e.what());
         }
-        return writeFrame(fd, MsgType::CacheQueryReply, reply.encode());
+        done.frame =
+            encodeFrame(MsgType::CacheQueryReply, reply.encode());
+        return done;
       }
 
       case MsgType::StatsRequest: {
         StatsRequest req;
-        if (!StatsRequest::decode(payload, req))
+        if (!StatsRequest::decode(work.payload, req))
             return badRequest("undecodable StatsRequest payload");
-        return writeFrame(fd, MsgType::StatsReply,
-                          statsSnapshot().encode());
+        done.frame = encodeFrame(MsgType::StatsReply,
+                                 statsSnapshot().encode());
+        return done;
       }
 
       case MsgType::DrainRequest: {
         DrainRequest req;
-        if (!DrainRequest::decode(payload, req))
+        if (!DrainRequest::decode(work.payload, req))
             return badRequest("undecodable DrainRequest payload");
         DrainReply reply;
         reply.was_draining = drainRequested();
-        // Reply first: beginDrain() makes this connection close after
-        // the current frame.
-        const bool sent =
-            writeFrame(fd, MsgType::DrainReply, reply.encode());
-        beginDrain();
-        return sent;
+        done.frame = encodeFrame(MsgType::DrainReply, reply.encode());
+        done.drain_after = true;
+        return done;
       }
 
       default:

@@ -30,6 +30,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,7 +39,7 @@
 #include "common/random.hh"
 #include "fault/fault.hh"
 #include "serve/client.hh"
-#include "serve/retry.hh"
+#include "serve/connect.hh"
 #include "serve/server.hh"
 #include "sim/experiment.hh"
 #include "sim/policy_factory.hh"
@@ -170,7 +171,11 @@ runClient(const std::string &endpoint, const SoakFlags &flags,
     backoff.deadline_ms = 20000;
     backoff.seed = Rng(flags.seed).fork(0x10000u + unsigned(client_id))
                        .next();
-    RetryingClient client(endpoint, backoff);
+    ClientOptions copts;
+    copts.endpoint = endpoint;
+    copts.retry = true;
+    copts.backoff = backoff;
+    const std::unique_ptr<Client> client = serve::connect(copts);
 
     Rng pick(Rng(flags.seed).fork(unsigned(client_id)).next());
     ClientTally tally;
@@ -182,7 +187,7 @@ runClient(const std::string &endpoint, const SoakFlags &flags,
         req.point.policy = point.policy;
         req.point.warmup_cycles = kWarmup;
         req.point.measure_cycles = kMeasure;
-        const PointReply reply = client.run(req);
+        const PointReply reply = client->run(req);
         if (reply.error == ServeError::None) {
             if (serializeRunResult(reply.result) == point.expected) {
                 tally.ok++;
@@ -246,12 +251,13 @@ main(int argc, char **argv)
 
     ServerOptions opts;
     opts.unix_path = socket_path;
-    opts.sched.sweep.use_cache = true;
-    opts.sched.sweep.cache_dir = cache_dir.string();
-    opts.sched.sweep.jobs = 2;
-    opts.sched.dispatchers = 2;
-    opts.sched.batch_window_ms = 5;
-    opts.sched.watchdog_ms = 1000;
+    opts.sweep.use_cache = true;
+    opts.sweep.cache_dir = cache_dir.string();
+    opts.sweep.jobs = 2;
+    opts.dispatchers = 2;
+    opts.batch_window_ms = 5;
+    opts.watchdog_ms = 1000;
+    opts.workers = unsigned(flags.clients); // one in-flight frame each
     Server server(opts);
     server.start();
 

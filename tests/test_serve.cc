@@ -23,6 +23,7 @@
 #include "common/logging.hh"
 #include "fault/fault.hh"
 #include "serve/client.hh"
+#include "serve/connect.hh"
 #include "serve/protocol.hh"
 #include "serve/scheduler.hh"
 #include "serve/server.hh"
@@ -516,8 +517,12 @@ fastServerOptions(int sock_idx)
 {
     ServerOptions o;
     o.unix_path = testSocketPath(sock_idx);
-    o.sched = fastSchedOptions();
-    o.sched.sweep.jobs = 8;
+    o.sweep.use_cache = false;
+    o.sweep.jobs = 8;
+    o.dispatchers = 1;
+    // Tests park requests on a paused scheduler while more arrive;
+    // every concurrent request needs a worker to block in.
+    o.workers = 8;
     return o;
 }
 
@@ -607,7 +612,7 @@ TEST(ServeServer, DuplicateConcurrentRequestsCoalesce)
 TEST(ServeServer, FullQueueAnswersOverloadedImmediately)
 {
     ServerOptions opts = fastServerOptions(3);
-    opts.sched.max_queue = 1;
+    opts.max_queue = 1;
     Server server(opts);
     server.start();
 
@@ -643,8 +648,8 @@ TEST(ServeServer, SweepBatchesAndAnswersInGridOrder)
     std::filesystem::remove_all(cache_dir);
 
     ServerOptions opts = fastServerOptions(4);
-    opts.sched.sweep.use_cache = true;
-    opts.sched.sweep.cache_dir = cache_dir.string();
+    opts.sweep.use_cache = true;
+    opts.sweep.cache_dir = cache_dir.string();
     Server server(opts);
     server.start();
 
@@ -890,4 +895,315 @@ TEST(ServeServer, DrainCompletesInflightThenRefusesNewWork)
     EXPECT_EQ(late.future.get()->error, ServeError::Draining);
 
     server.shutdown();
+}
+
+// ----------------------------------------------- incremental framing
+
+TEST(FrameAssembler, ByteAtATimeFeedYieldsTheFrameOnce)
+{
+    const std::string frame = encodeFrame(MsgType::StatsRequest, "");
+    FrameAssembler fa;
+    MsgType type;
+    std::string payload;
+    for (char b : frame) {
+        ASSERT_EQ(fa.next(type, payload), FrameAssembler::Next::NeedMore);
+        fa.feed(std::string_view(&b, 1));
+    }
+    ASSERT_EQ(fa.next(type, payload), FrameAssembler::Next::Frame);
+    EXPECT_EQ(type, MsgType::StatsRequest);
+    EXPECT_TRUE(payload.empty());
+    EXPECT_EQ(fa.next(type, payload), FrameAssembler::Next::NeedMore);
+    EXPECT_EQ(fa.buffered(), 0u);
+}
+
+TEST(FrameAssembler, OneBurstCanCarryManyFrames)
+{
+    RunRequest req;
+    req.point = fastPoint();
+    std::string burst = encodeFrame(MsgType::RunRequest, req.encode());
+    burst += encodeFrame(MsgType::StatsRequest, "");
+    burst += encodeFrame(MsgType::DrainRequest, "");
+
+    FrameAssembler fa;
+    fa.feed(burst);
+    MsgType type;
+    std::string payload;
+    ASSERT_EQ(fa.next(type, payload), FrameAssembler::Next::Frame);
+    EXPECT_EQ(type, MsgType::RunRequest);
+    RunRequest round;
+    ASSERT_TRUE(RunRequest::decode(payload, round));
+    EXPECT_EQ(round.point.benchmark, req.point.benchmark);
+    ASSERT_EQ(fa.next(type, payload), FrameAssembler::Next::Frame);
+    EXPECT_EQ(type, MsgType::StatsRequest);
+    ASSERT_EQ(fa.next(type, payload), FrameAssembler::Next::Frame);
+    EXPECT_EQ(type, MsgType::DrainRequest);
+    EXPECT_EQ(fa.next(type, payload), FrameAssembler::Next::NeedMore);
+}
+
+TEST(FrameAssembler, BadMagicIsSticky)
+{
+    FrameAssembler fa;
+    fa.feed("XXXXXXXXXXXX");
+    MsgType type;
+    std::string payload;
+    FrameStatus why = FrameStatus::Ok;
+    ASSERT_EQ(fa.next(type, payload, &why), FrameAssembler::Next::Bad);
+    EXPECT_EQ(why, FrameStatus::BadMagic);
+    // Even valid bytes afterwards cannot resynchronize the stream.
+    fa.feed(encodeFrame(MsgType::StatsRequest, ""));
+    EXPECT_EQ(fa.next(type, payload, &why), FrameAssembler::Next::Bad);
+}
+
+// --------------------------------------------- event-core edge cases
+
+TEST(ServeServer, SlowReaderTricklingOneByteGetsAnIntactReply)
+{
+    ServerOptions opts = fastServerOptions(10);
+    opts.sndbuf = 1; // kernel clamps to its minimum: forces EAGAIN
+    Server server(opts);
+    server.start();
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    // Shrink the receive window too so the reply cannot fit in kernel
+    // buffers and the server must take the POLLOUT partial-write path.
+    const int tiny = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+
+    // A 12-point grid makes the encoded reply far larger than the
+    // minimum kernel send buffer, so it cannot flush in one send().
+    SweepRequest req;
+    req.benchmarks = {"186.crafty", "179.art"};
+    req.policies = {"none", "toggle1", "toggle2", "P", "PI", "PID"};
+    req.warmup_cycles = 1000;
+    req.measure_cycles = 10000;
+    const std::string frame =
+        encodeFrame(MsgType::SweepRequest, req.encode());
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              ssize_t(frame.size()));
+
+    // Read the reply one byte at a time, pausing every so often, so the
+    // server's write buffer drains in dribbles across many loop turns.
+    FrameAssembler fa;
+    MsgType type = MsgType::ErrorReply;
+    std::string payload;
+    FrameAssembler::Next what = FrameAssembler::Next::NeedMore;
+    std::size_t reads = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (what == FrameAssembler::Next::NeedMore) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        char b;
+        const ssize_t n = ::recv(fd, &b, 1, 0);
+        ASSERT_GT(n, 0) << "connection broke mid-reply";
+        fa.feed(std::string_view(&b, 1));
+        if (++reads % 512 == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        what = fa.next(type, payload);
+    }
+    ASSERT_EQ(what, FrameAssembler::Next::Frame);
+    ASSERT_EQ(type, MsgType::SweepReply);
+    SweepReply reply;
+    ASSERT_TRUE(SweepReply::decode(payload, reply));
+    ASSERT_EQ(reply.points.size(), 12u);
+    for (const auto &p : reply.points)
+        EXPECT_EQ(p.error, ServeError::None) << p.message;
+    ::close(fd);
+    server.shutdown();
+}
+
+TEST(ServeServer, WriteBufferBackpressureParksANonReadingPeer)
+{
+    ServerOptions opts = fastServerOptions(11);
+    opts.sndbuf = 1;            // minimal kernel-side reply buffering
+    opts.max_write_buffer = 1024; // tiny high water: trip it early
+    Server server(opts);
+    server.start();
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // Pipeline a burst of requests and read NOTHING: replies must pile
+    // up against the high water, not into unbounded server memory.
+    constexpr std::uint64_t kBurst = 25;
+    RunRequest req;
+    req.point = fastPoint("186.crafty", "none");
+    const std::string frame =
+        encodeFrame(MsgType::RunRequest, req.encode());
+    std::string burst;
+    for (std::uint64_t i = 0; i < kBurst; ++i)
+        burst += frame;
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+              ssize_t(burst.size()));
+
+    // Execution stalls once the unread replies cross the high water.
+    // Requests run serially (one outstanding per connection), so the
+    // counter also holds still *between* executions — only a sustained
+    // quiet period, much longer than one simulation, is a real park.
+    std::uint64_t plateau = 0;
+    auto changed_at = std::chrono::steady_clock::now();
+    ASSERT_TRUE(waitFor([&] {
+        const std::uint64_t now = server.statsSnapshot().requests_total;
+        if (now != plateau) {
+            plateau = now;
+            changed_at = std::chrono::steady_clock::now();
+            return false;
+        }
+        return now > 0
+               && std::chrono::steady_clock::now() - changed_at
+                      > std::chrono::milliseconds(1500);
+    }, 30000));
+    EXPECT_EQ(server.statsSnapshot().requests_total, plateau);
+    EXPECT_LT(plateau, kBurst);
+
+    // Start reading: the backlog drains and every reply arrives intact.
+    FrameAssembler fa;
+    std::uint64_t got = 0;
+    char buf[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (got < kBurst) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0) << "connection broke mid-drain";
+        fa.feed(std::string_view(buf, std::size_t(n)));
+        for (;;) {
+            MsgType type;
+            std::string payload;
+            if (fa.next(type, payload) != FrameAssembler::Next::Frame)
+                break;
+            ASSERT_EQ(type, MsgType::RunReply);
+            RunReply reply;
+            ASSERT_TRUE(RunReply::decode(payload, reply));
+            EXPECT_EQ(reply.point.error, ServeError::None)
+                << reply.point.message;
+            got++;
+        }
+    }
+    EXPECT_EQ(got, kBurst);
+    EXPECT_EQ(server.statsSnapshot().requests_total, kBurst);
+    ::close(fd);
+    server.shutdown();
+}
+
+TEST(ServeServer, IdleConnectionsAreEvictedOnTimeout)
+{
+    ServerOptions opts = fastServerOptions(12);
+    opts.idle_timeout_ms = 150;
+    Server server(opts);
+    server.start();
+
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    RunRequest req;
+    req.point = fastPoint("186.crafty", "none");
+    ASSERT_EQ(c.run(req).error, ServeError::None);
+
+    // Go quiet: the loop must evict us without any traffic.
+    ASSERT_TRUE(waitFor([&] { return server.idleEvicted() >= 1; }));
+    ASSERT_TRUE(waitFor(
+        [&] { return server.statsSnapshot().active_connections == 0; }));
+
+    // The evicted socket is dead for the client...
+    EXPECT_EQ(c.run(req).error, ServeError::Transport);
+    // ...and a fresh connection works (eviction, not shutdown).
+    ServeClient c2 = ServeClient::connectUnix(opts.unix_path);
+    EXPECT_EQ(c2.run(req).error, ServeError::None);
+    server.shutdown();
+}
+
+// ------------------------------------------------ redesigned surface
+
+TEST(ServeOptions, LegacyShapeConvertsFieldForField)
+{
+    LegacyServerOptions legacy;
+    legacy.unix_path = "/tmp/legacy.sock";
+    legacy.tcp = true;
+    legacy.tcp_port = 4321;
+    legacy.backlog = 7;
+    legacy.sched.sweep.use_cache = true;
+    legacy.sched.sweep.cache_dir = "/tmp/cache";
+    legacy.sched.sweep.jobs = 3;
+    legacy.sched.max_queue = 99;
+    legacy.sched.dispatchers = 5;
+    legacy.sched.batch_window_ms = 11;
+    legacy.sched.watchdog_ms = 2200;
+
+    const ServerOptions opts = legacyServerOptions(legacy);
+    EXPECT_EQ(opts.unix_path, "/tmp/legacy.sock");
+    EXPECT_TRUE(opts.tcp);
+    EXPECT_EQ(opts.tcp_port, 4321);
+    EXPECT_EQ(opts.backlog, 7);
+    EXPECT_TRUE(opts.sweep.use_cache);
+    EXPECT_EQ(opts.sweep.cache_dir, "/tmp/cache");
+    EXPECT_EQ(opts.sweep.jobs, 3u);
+    EXPECT_EQ(opts.max_queue, 99u);
+    EXPECT_EQ(opts.dispatchers, 5u);
+    EXPECT_EQ(opts.batch_window_ms, 11u);
+    EXPECT_EQ(opts.watchdog_ms, 2200u);
+
+    // The scheduler slice reconstitutes the old nested options.
+    const Scheduler::Options sched = opts.schedulerOptions();
+    EXPECT_EQ(sched.max_queue, 99u);
+    EXPECT_EQ(sched.dispatchers, 5u);
+    EXPECT_EQ(sched.batch_window_ms, 11u);
+    EXPECT_EQ(sched.watchdog_ms, 2200u);
+    EXPECT_TRUE(sched.sweep.use_cache);
+}
+
+TEST(ServeConnect, FactoryServesDataAndControlPlanesAlike)
+{
+    const ServerOptions opts = fastServerOptions(13);
+    Server server(opts);
+    server.start();
+
+    ClientOptions copts;
+    copts.endpoint = "unix:" + opts.unix_path;
+    copts.retry = false;
+    const std::unique_ptr<Client> client = serve::connect(copts);
+
+    RunRequest req;
+    req.point = fastPoint("186.crafty", "PI");
+    const PointReply viaFactory = client->run(req);
+    ASSERT_EQ(viaFactory.error, ServeError::None) << viaFactory.message;
+
+    ServeClient direct = ServeClient::connectUnix(opts.unix_path);
+    const PointReply viaDirect = direct.run(req);
+    ASSERT_EQ(viaDirect.error, ServeError::None);
+    expectSameResult(viaFactory.result, viaDirect.result);
+
+    const StatsReply stats = client->stats();
+    EXPECT_GE(stats.run_requests, 2u);
+    EXPECT_EQ(client->attemptsTotal(), 1u);
+    server.shutdown();
+}
+
+TEST(ServeConnect, NoRetryFactoryReportsTransportWithoutSleeping)
+{
+    ClientOptions copts;
+    copts.endpoint = "unix:/nonexistent/thermctl-test.sock";
+    copts.retry = false;
+    const std::unique_ptr<Client> client = serve::connect(copts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    RunRequest req;
+    req.point = fastPoint();
+    const PointReply reply = client->run(req);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(reply.error, ServeError::Transport);
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
+    EXPECT_EQ(client->attemptsTotal(), 1u);
 }

@@ -154,7 +154,7 @@ TEST_F(TraceTest, NextPastEndPanics)
         writer.append(MicroOp{});
     }
     TraceReader reader(path_.string());
-    reader.next();
+    (void)reader.next(); // consume the only op; its value is irrelevant
     EXPECT_TRUE(reader.done());
     EXPECT_THROW(reader.next(), PanicError);
 }

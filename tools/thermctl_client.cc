@@ -36,14 +36,14 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "fault/fault.hh"
-#include "serve/client.hh"
-#include "serve/retry.hh"
+#include "serve/connect.hh"
 #include "serve/server.hh"
 
 using namespace thermctl;
@@ -240,19 +240,27 @@ main(int argc, char **argv)
 #endif
         }
 
-        // Control-plane commands talk to the server once, no retries.
-        if (do_stats || do_drain || do_cache_query) {
-            ServeClient client = ServeClient::connect(endpoint);
-            if (do_stats) {
-                printStats(client.stats());
-                return 0;
-            }
-            if (do_drain) {
-                const bool was = client.drain();
-                std::cout << (was ? "server was already draining\n"
-                                  : "drain requested\n");
-                return 0;
-            }
+        // One client for every command: connect() hides the plain vs
+        // retrying split (the default --retries 1 is exactly the plain
+        // client). Control-plane calls never retry; a transport failure
+        // there throws FatalError and exits 2, as before.
+        ClientOptions copts;
+        copts.endpoint = endpoint;
+        copts.retry = backoff.max_attempts > 1;
+        copts.backoff = backoff;
+        const std::unique_ptr<Client> client = serve::connect(copts);
+
+        if (do_stats) {
+            printStats(client->stats());
+            return 0;
+        }
+        if (do_drain) {
+            const bool was = client->drain();
+            std::cout << (was ? "server was already draining\n"
+                              : "drain requested\n");
+            return 0;
+        }
+        if (do_cache_query) {
             if (benches.size() > 1 || policies.size() > 1)
                 fatal("--cache-query takes a single benchmark and "
                       "policy");
@@ -260,17 +268,13 @@ main(int argc, char **argv)
             req.point = knobs;
             req.point.benchmark = benches.front();
             req.point.policy = policies.front();
-            const CacheQueryReply reply = client.cacheQuery(req);
+            const CacheQueryReply reply = client->cacheQuery(req);
             std::cout << (reply.cached ? "cached" : "not cached")
                       << " (digest " << std::hex << reply.digest
                       << std::dec << ")\n";
             return reply.cached ? 0 : 1;
         }
 
-        // Simulation requests go through the retrying client; the
-        // default --retries 1 makes it behave exactly like the plain
-        // client (a typed error surfaces unchanged, no sleeps).
-        RetryingClient client(endpoint, backoff);
         std::vector<PointReply> points;
         if (benches.size() == 1 && policies.size() == 1) {
             RunRequest req;
@@ -278,7 +282,7 @@ main(int argc, char **argv)
             req.point.benchmark = benches.front();
             req.point.policy = policies.front();
             req.deadline_ms = deadline_ms;
-            points.push_back(client.run(req));
+            points.push_back(client->run(req));
         } else {
             SweepRequest req;
             req.benchmarks = benches;
@@ -288,7 +292,7 @@ main(int argc, char **argv)
             req.ct_setpoint = knobs.ct_setpoint;
             req.sample_interval = knobs.sample_interval;
             req.deadline_ms = deadline_ms;
-            points = client.sweep(req).points;
+            points = client->sweep(req).points;
         }
 
         int failures = 0;

@@ -20,6 +20,13 @@
  *                         coalesce and batch (default 0 = immediate)
  *     --watchdog-ms N     fail dispatches stuck longer than N ms with a
  *                         typed Stalled error (default 0 = off)
+ *     --workers N         event-core request workers (default 2)
+ *     --idle-timeout-ms N evict connections idle longer than N ms
+ *                         (default 30000; 0 = never)
+ *     --max-write-buffer N per-connection reply high water in bytes;
+ *                         past it the peer is not read until it drains
+ *     --sndbuf N          SO_SNDBUF for accepted sockets (testing)
+ *     --drain-flush-ms N  reply-flush budget during drain (default 5000)
  *     --fault-plan SPEC   arm the deterministic fault injector with a
  *                         seeded plan, e.g.
  *                         "seed=7;serve.sock.write=abort@0.05"
@@ -62,7 +69,9 @@ usage()
         "                      [--cache-dir PATH] [--no-cache]\n"
         "                      [--max-queue N] [--dispatchers N]\n"
         "                      [--batch-window-ms N] [--watchdog-ms N]\n"
-        "                      [--fault-plan SPEC]\n";
+        "                      [--workers N] [--idle-timeout-ms N]\n"
+        "                      [--max-write-buffer N] [--sndbuf N]\n"
+        "                      [--drain-flush-ms N] [--fault-plan SPEC]\n";
 }
 
 void
@@ -94,8 +103,7 @@ main(int argc, char **argv)
     ServerOptions opts;
     opts.unix_path = defaultSocketPath();
     const char *no_cache_env = std::getenv("THERMCTL_NO_CACHE");
-    opts.sched.sweep.use_cache = !(no_cache_env && no_cache_env[0] == '1');
-    std::string fault_plan_spec;
+    opts.sweep.use_cache = !(no_cache_env && no_cache_env[0] == '1');
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -114,28 +122,45 @@ main(int argc, char **argv)
                 const long v = std::stol(next());
                 if (v < 1)
                     fatal("--jobs must be >= 1");
-                opts.sched.sweep.jobs = static_cast<unsigned>(v);
+                opts.sweep.jobs = static_cast<unsigned>(v);
             } else if (arg == "--cache-dir") {
-                opts.sched.sweep.cache_dir = next();
+                opts.sweep.cache_dir = next();
             } else if (arg == "--no-cache") {
-                opts.sched.sweep.use_cache = false;
+                opts.sweep.use_cache = false;
             } else if (arg == "--max-queue") {
                 const long v = std::stol(next());
                 if (v < 1)
                     fatal("--max-queue must be >= 1");
-                opts.sched.max_queue = static_cast<std::size_t>(v);
+                opts.max_queue = static_cast<std::size_t>(v);
             } else if (arg == "--dispatchers") {
                 const long v = std::stol(next());
                 if (v < 1)
                     fatal("--dispatchers must be >= 1");
-                opts.sched.dispatchers = static_cast<unsigned>(v);
+                opts.dispatchers = static_cast<unsigned>(v);
             } else if (arg == "--batch-window-ms") {
-                opts.sched.batch_window_ms = std::stoull(next());
+                opts.batch_window_ms =
+                    static_cast<unsigned>(std::stoul(next()));
             } else if (arg == "--watchdog-ms") {
-                opts.sched.watchdog_ms =
+                opts.watchdog_ms =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--workers") {
+                const long v = std::stol(next());
+                if (v < 1)
+                    fatal("--workers must be >= 1");
+                opts.workers = static_cast<unsigned>(v);
+            } else if (arg == "--idle-timeout-ms") {
+                opts.idle_timeout_ms =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--max-write-buffer") {
+                opts.max_write_buffer =
+                    static_cast<std::size_t>(std::stoull(next()));
+            } else if (arg == "--sndbuf") {
+                opts.sndbuf = std::stoi(next());
+            } else if (arg == "--drain-flush-ms") {
+                opts.drain_flush_ms =
                     static_cast<unsigned>(std::stoul(next()));
             } else if (arg == "--fault-plan") {
-                fault_plan_spec = next();
+                opts.fault_plan = next();
             } else if (arg == "--help" || arg == "-h") {
                 usage();
                 return 0;
@@ -145,13 +170,15 @@ main(int argc, char **argv)
             }
         }
 
-        if (!fault_plan_spec.empty()) {
+        opts.validate(); // surface flag errors before any side effect
+
+        if (!opts.fault_plan.empty()) {
 #if defined(THERMCTL_FAULTS_ENABLED) && THERMCTL_FAULTS_ENABLED
-            const fault::FaultPlan plan =
-                fault::FaultPlan::parse(fault_plan_spec);
-            fault::FaultInjector::instance().arm(plan);
+            // Server::start() arms the plan; just log what will run.
             std::cerr << "thermctl_serve: fault plan armed: "
-                      << plan.describe() << "\n";
+                      << fault::FaultPlan::parse(opts.fault_plan)
+                             .describe()
+                      << "\n";
 #else
             fatal("--fault-plan needs a build with THERMCTL_FAULTS=ON "
                   "(fault points are compiled out of this binary)");
@@ -160,11 +187,11 @@ main(int argc, char **argv)
 
         // Recover the cache directory from a crashed predecessor before
         // the first request can read a half-published entry.
-        if (opts.sched.sweep.use_cache) {
+        if (opts.sweep.use_cache) {
             const std::string cache_dir =
-                opts.sched.sweep.cache_dir.empty()
+                opts.sweep.cache_dir.empty()
                     ? SweepEngine::defaultCacheDir()
-                    : opts.sched.sweep.cache_dir;
+                    : opts.sweep.cache_dir;
             const CacheRecoveryStats rec = sweepCacheRecover(cache_dir);
             if (rec.quarantined > 0 || rec.tmp_removed > 0) {
                 std::cerr << "thermctl_serve: cache recovery: scanned "
