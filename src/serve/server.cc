@@ -24,9 +24,14 @@ namespace thermctl::serve
 namespace
 {
 
-/** recv() chunk; also the per-readiness read bound while a conn is
- *  not busy (flow control caps buffered-but-undispatched bytes). */
+/** recv() chunk size only — NOT a flow-control bound: readReady()
+ *  keeps reading until EAGAIN or a frame dispatches (busy), so a
+ *  connection's buffered-but-undispatched bytes are bounded by one
+ *  maximum frame (kMaxFramePayload + header) plus a chunk. */
 constexpr std::size_t kReadChunk = 16384;
+
+/** Accept pause after EMFILE-class accept() failures. */
+constexpr int kAcceptBackoffMs = 100;
 
 void
 closeFd(int &fd)
@@ -319,12 +324,14 @@ Server::eventLoop()
         }
 
         // ---- build the poll set
+        const Clock::time_point now = Clock::now();
         std::vector<pollfd> fds;
         std::vector<std::uint64_t> fd_conn; // parallel; 0 = not a conn
         fds.push_back({wake_pipe_[0], POLLIN, 0});
         fd_conn.push_back(0);
         int unix_slot = -1, tcp_slot = -1;
-        if (!draining) {
+        const bool accept_paused = accept_backoff_until_ > now;
+        if (!draining && !accept_paused) {
             if (unix_fd_ >= 0) {
                 unix_slot = static_cast<int>(fds.size());
                 fds.push_back({unix_fd_, POLLIN, 0});
@@ -337,6 +344,8 @@ Server::eventLoop()
             }
         }
         for (auto &[id, conn] : conns_) {
+            if (conn->peer_hup)
+                continue; // hung up mid-request: wait for completion
             short events = 0;
             if (pending(*conn) > 0)
                 events |= POLLOUT;
@@ -355,7 +364,6 @@ Server::eventLoop()
 
         // ---- compute the poll timeout
         int timeout = -1;
-        const Clock::time_point now = Clock::now();
         if (draining) {
             const auto deadline =
                 drain_started_
@@ -382,6 +390,16 @@ Server::eventLoop()
             }
             if (soonest != std::numeric_limits<std::int64_t>::max())
                 timeout = clampTimeoutMs(soonest);
+        }
+        if (!draining && accept_paused) {
+            // Wake when the accept backoff expires so the listeners
+            // rejoin the poll set even with no other activity.
+            const int left = clampTimeoutMs(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    accept_backoff_until_ - now)
+                    .count()
+                + 1);
+            timeout = timeout < 0 ? left : std::min(timeout, left);
         }
 
         const int rc = ::poll(fds.data(), fds.size(), timeout);
@@ -422,8 +440,18 @@ Server::eventLoop()
                 if (!flushConn(conn))
                     continue;
                 // Dropping below the high water may unblock a buffered
-                // request the backpressure gate had parked.
-                tryDispatch(conn);
+                // request the backpressure gate had parked; dispatching
+                // a malformed frame can close the conn inline.
+                if (!tryDispatch(conn))
+                    continue;
+            }
+            if ((re & POLLHUP) && conn.busy) {
+                // Peer gone while its request executes: leave the poll
+                // set (events==0 would re-report POLLHUP every round,
+                // spinning the loop) until the completion arrives,
+                // which drops the reply and closes.
+                conn.peer_hup = true;
+                continue;
             }
             // POLLHUP still allows reading what the peer sent before
             // closing; recv() returning 0 finishes the close.
@@ -479,8 +507,20 @@ Server::acceptReady(int listen_fd)
 {
     for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0)
-            break; // EAGAIN, or transient error: poll again
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break; // drained the backlog
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue; // transient, retry now
+            // EMFILE/ENFILE/ENOBUFS/...: the listener stays readable,
+            // so re-polling immediately would spin. Pause accepts.
+            warn("serve: accept: ", std::strerror(errno),
+                 " (pausing accepts for ", kAcceptBackoffMs, " ms)");
+            accept_backoff_until_ =
+                Clock::now()
+                + std::chrono::milliseconds(kAcceptBackoffMs);
+            break;
+        }
         if (THERMCTL_FAULT_POINT("serve.accept").abort()) {
             // Drop the connection before it is serviced; the peer
             // sees a clean close and must reconnect.
@@ -538,7 +578,8 @@ Server::readReady(Conn &conn)
         conn.assembler.feed(
             std::string_view(buf, static_cast<std::size_t>(n)));
         conn.last_activity = Clock::now();
-        tryDispatch(conn);
+        if (!tryDispatch(conn))
+            return false; // malformed frame: error flushed, conn gone
         if (conn.close_after_flush)
             return true; // framing lost: stop reading, flush the error
     }
@@ -583,21 +624,21 @@ Server::flushConn(Conn &conn)
     return true;
 }
 
-void
+bool
 Server::tryDispatch(Conn &conn)
 {
     if (conn.busy || conn.close_after_flush || draining_.load())
-        return;
+        return true;
     // Backpressure: while the peer is not draining replies, no new
     // work is executed for it, even if requests are already buffered.
     if (pending(conn) >= opts_.max_write_buffer)
-        return;
+        return true;
     MsgType type;
     std::string payload;
     FrameStatus fs = FrameStatus::Ok;
     switch (conn.assembler.next(type, payload, &fs)) {
       case FrameAssembler::Next::NeedMore:
-        return;
+        return true;
       case FrameAssembler::Next::Bad: {
         ErrorReply err;
         err.code = fs == FrameStatus::BadVersion
@@ -609,11 +650,11 @@ Server::tryDispatch(Conn &conn)
                       + std::to_string(kWireVersion) + ")"
                 : "malformed frame header";
         // Best-effort courtesy reply; framing is unrecoverable, so the
-        // connection closes once these bytes are out.
+        // connection closes once these bytes are out — possibly right
+        // here when the flush completes, destroying `conn`.
         conn.wbuf += encodeFrame(MsgType::ErrorReply, err.encode());
         conn.close_after_flush = true;
-        (void)flushConn(conn);
-        return;
+        return flushConn(conn);
       }
       case FrameAssembler::Next::Frame:
         break;
@@ -625,6 +666,7 @@ Server::tryDispatch(Conn &conn)
             Work{conn.id, type, std::move(payload)});
         work_cv_.notify_one();
     }
+    return true;
 }
 
 void
@@ -642,6 +684,13 @@ Server::processCompletions()
             continue; // connection died while its request ran
         Conn &conn = *it->second;
         conn.busy = false;
+        if (conn.peer_hup) {
+            // The peer hung up while this request ran: drop the reply
+            // (a DrainRequest still drains — it was admitted).
+            drain_after |= c.drain_after;
+            closeConn(conn);
+            continue;
+        }
         conn.wbuf += c.frame;
         conn.last_activity = Clock::now();
         if (c.drain_after) {
@@ -652,8 +701,9 @@ Server::processCompletions()
         }
         if (!flushConn(conn))
             continue;
-        // The peer may have pipelined the next request already.
-        tryDispatch(conn);
+        // The peer may have pipelined the next request already; the
+        // conn is not touched again this round, so a close is fine.
+        (void)tryDispatch(conn);
     }
     if (drain_after)
         beginDrain();

@@ -225,6 +225,13 @@ class Server
         std::size_t woff = 0;    ///< flushed prefix of wbuf
         bool busy = false;       ///< one frame executing on a worker
         bool close_after_flush = false;
+        /**
+         * Peer hung up while its request was executing. The fd leaves
+         * the poll set (POLLHUP would otherwise be reported every
+         * round against a busy conn's empty event mask, spinning the
+         * loop); the completion is dropped and the conn closed.
+         */
+        bool peer_hup = false;
         Clock::time_point last_activity;
     };
 
@@ -258,8 +265,13 @@ class Server
     bool readReady(Conn &conn);
     /** Flush wbuf as far as the kernel allows; false = conn closed. */
     bool flushConn(Conn &conn);
-    /** Hand the next buffered frame to the workers (one at a time). */
-    void tryDispatch(Conn &conn);
+    /**
+     * Hand the next buffered frame to the workers (one at a time).
+     * @return false when the connection was closed (a malformed frame
+     * whose courtesy error reply flushed completely closes inline) —
+     * the Conn is destroyed and the caller must not touch it.
+     */
+    [[nodiscard]] bool tryDispatch(Conn &conn);
     void processCompletions() THERMCTL_EXCLUDES(done_mutex_);
     void closeConn(Conn &conn);
     void wakeLoop();
@@ -288,6 +300,9 @@ class Server
     std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
     std::uint64_t next_conn_id_ = 1;
     Clock::time_point drain_started_;
+    /** Listeners leave the poll set until then after EMFILE-class
+     *  accept failures (otherwise the readable listener spins). */
+    Clock::time_point accept_backoff_until_{};
 
     // Worker pool hand-off.
     Mutex work_mutex_;

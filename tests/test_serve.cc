@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -526,6 +527,26 @@ fastServerOptions(int sock_idx)
     return o;
 }
 
+/** Raw blocking client socket for protocol-level misbehavior tests. */
+int
+rawConnect(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
 } // namespace
 
 TEST(ServeServer, ConcurrentClientsMatchDirectRunsBitExactly)
@@ -737,6 +758,99 @@ TEST(ServeServer, ForeignWireVersionGetsTypedRejection)
     ASSERT_TRUE(ErrorReply::decode(payload, err));
     EXPECT_EQ(err.code, ServeError::VersionMismatch);
     ::close(fd);
+    server.shutdown();
+}
+
+TEST(ServeServer, MalformedBytesGetTypedErrorThenCloseAndServerSurvives)
+{
+    const ServerOptions opts = fastServerOptions(14);
+    Server server(opts);
+    server.start();
+
+    // Regression: flushing the courtesy error reply inline used to
+    // destroy the Conn while readReady/eventLoop still held a
+    // reference to it (use-after-free on any malformed client).
+    const int fd = rawConnect(opts.unix_path);
+    ASSERT_GE(fd, 0);
+    const std::string garbage = "definitely not a TSRV frame";
+    ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+              ssize_t(garbage.size()));
+
+    MsgType type;
+    std::string payload;
+    ASSERT_EQ(readFrame(fd, type, payload), ReadStatus::Ok);
+    ASSERT_EQ(type, MsgType::ErrorReply);
+    ErrorReply err;
+    ASSERT_TRUE(ErrorReply::decode(payload, err));
+    EXPECT_EQ(err.code, ServeError::BadRequest);
+
+    // Framing is unrecoverable: the server closes after the reply.
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+    ASSERT_TRUE(waitFor([&] {
+        return server.statsSnapshot().active_connections == 0;
+    }));
+
+    // The event loop survived; a fresh connection is fully served.
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    RunRequest req;
+    req.point = fastPoint();
+    EXPECT_EQ(c.run(req).error, ServeError::None);
+    server.shutdown();
+}
+
+TEST(ServeServer, PeerHangupDuringExecutionDropsReplyAndCloses)
+{
+    const ServerOptions opts = fastServerOptions(15);
+    Server server(opts);
+    server.start();
+
+    // Regression: POLLHUP on a busy connection (event mask 0) was
+    // reported on every poll round and never consumed, so the loop
+    // busy-spun until the completion arrived.
+    server.scheduler().pauseDispatch();
+    const int fd = rawConnect(opts.unix_path);
+    ASSERT_GE(fd, 0);
+    RunRequest req;
+    req.point = fastPoint();
+    const std::string frame =
+        encodeFrame(MsgType::RunRequest, req.encode());
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              ssize_t(frame.size()));
+    ASSERT_TRUE(waitFor(
+        [&] { return server.scheduler().stats().submitted >= 1; }));
+    ASSERT_EQ(server.statsSnapshot().active_connections, 1u);
+
+    ::close(fd); // hang up while the request executes
+
+    // The loop must park the fd, not spin on the perpetual POLLHUP:
+    // ~300 ms hung-up-while-busy should cost ~0 process CPU (every
+    // other thread is blocked on a condvar or future here).
+    rusage before{};
+    ASSERT_EQ(::getrusage(RUSAGE_SELF, &before), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    rusage after{};
+    ASSERT_EQ(::getrusage(RUSAGE_SELF, &after), 0);
+    auto cpuMs = [](const rusage &r) {
+        return double(r.ru_utime.tv_sec + r.ru_stime.tv_sec) * 1000.0
+               + double(r.ru_utime.tv_usec + r.ru_stime.tv_usec)
+                     / 1000.0;
+    };
+    EXPECT_LT(cpuMs(after) - cpuMs(before), 150.0);
+
+    server.scheduler().resumeDispatch();
+
+    // The late completion is dropped and the connection reaped.
+    ASSERT_TRUE(waitFor([&] {
+        return server.statsSnapshot().active_connections == 0;
+    }));
+
+    // The server stays healthy for new clients.
+    ServeClient c = ServeClient::connectUnix(opts.unix_path);
+    RunRequest ok;
+    ok.point = fastPoint("179.art");
+    EXPECT_EQ(c.run(ok).error, ServeError::None);
     server.shutdown();
 }
 

@@ -145,8 +145,14 @@ class FakeWork
 
 // ------------------------------------------------------ connections
 
+/**
+ * Connect to the daemon. Endpoint parse errors are always fatal (a bad
+ * flag never gets better); socket/connect failures are fatal only when
+ * `must_succeed` — reconnects mid-run return -1 instead, so a server
+ * that drains or restarts costs transport errors, not the whole run.
+ */
 int
-dial(const std::string &endpoint)
+dial(const std::string &endpoint, bool must_succeed = true)
 {
     std::string path = endpoint;
     if (endpoint.rfind("tcp:", 0) == 0) {
@@ -164,13 +170,22 @@ dial(const std::string &endpoint)
         if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
             fatal("loadgen: bad tcp host '", host, "' (numeric only)");
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd < 0)
-            fatal("loadgen: socket: ", std::strerror(errno));
+        if (fd < 0) {
+            if (must_succeed)
+                fatal("loadgen: socket: ", std::strerror(errno));
+            return -1;
+        }
         if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                       sizeof(addr))
             != 0) {
-            fatal("loadgen: connect(", endpoint,
-                  "): ", std::strerror(errno));
+            if (must_succeed) {
+                fatal("loadgen: connect(", endpoint,
+                      "): ", std::strerror(errno));
+            }
+            const int saved = errno;
+            ::close(fd);
+            errno = saved; // callers report the connect failure
+            return -1;
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -184,11 +199,20 @@ dial(const std::string &endpoint)
         fatal("loadgen: socket path too long: ", path);
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
-        fatal("loadgen: socket: ", std::strerror(errno));
+    if (fd < 0) {
+        if (must_succeed)
+            fatal("loadgen: socket: ", std::strerror(errno));
+        return -1;
+    }
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr))
-        != 0)
-        fatal("loadgen: connect(", path, "): ", std::strerror(errno));
+        != 0) {
+        if (must_succeed)
+            fatal("loadgen: connect(", path, "): ", std::strerror(errno));
+        const int saved = errno;
+        ::close(fd);
+        errno = saved; // callers report the connect failure
+        return -1;
+    }
     return fd;
 }
 
@@ -432,6 +456,9 @@ main(int argc, char **argv)
         auto failConn = [&](Conn &c) {
             // Count everything this connection still owed as transport
             // failures, then redial so the remaining schedule can run.
+            // The redial itself may fail (server draining/restarting):
+            // mark the connection dead (fd -1, ignored by poll) and
+            // retry it when the next arrival lands on it.
             tally.transport_errors +=
                 (c.in_flight ? 1 : 0) + c.queue.size();
             tally.completed += (c.in_flight ? 1 : 0) + c.queue.size();
@@ -441,7 +468,12 @@ main(int argc, char **argv)
             c.woff = 0;
             c.assembler = FrameAssembler();
             ::close(c.fd);
-            c.fd = dial(endpoint);
+            c.fd = dial(endpoint, /*must_succeed=*/false);
+            if (c.fd < 0) {
+                std::cerr << "thermctl_loadgen: reconnect failed: "
+                          << std::strerror(errno)
+                          << " (will retry on the next arrival)\n";
+            }
         };
 
         const Clock::time_point start = Clock::now();
@@ -457,6 +489,16 @@ main(int argc, char **argv)
             while (next_arrival < schedule.size()
                    && schedule[next_arrival].due_s <= now_s) {
                 Conn &c = pool[rr++ % pool.size()];
+                if (c.fd < 0)
+                    c.fd = dial(endpoint, /*must_succeed=*/false);
+                if (c.fd < 0) {
+                    // Still unreachable: this arrival is a transport
+                    // failure, charged now (open loop — it was due).
+                    tally.transport_errors++;
+                    tally.completed++;
+                    next_arrival++;
+                    continue;
+                }
                 c.queue.push_back(next_arrival++);
                 kick(c);
             }
@@ -601,8 +643,10 @@ main(int argc, char **argv)
         const double elapsed_s =
             std::chrono::duration<double>(Clock::now() - start).count();
 
-        for (auto &c : pool)
-            ::close(c.fd);
+        for (auto &c : pool) {
+            if (c.fd >= 0)
+                ::close(c.fd);
+        }
 
         // ---- report
         std::sort(latencies_ms.begin(), latencies_ms.end());
