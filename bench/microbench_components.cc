@@ -13,6 +13,8 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "control/pid.hh"
+#include "multicore/chip_model.hh"
+#include "multicore/multicore_sim.hh"
 #include "power/model.hh"
 #include "sim/simulator.hh"
 #include "thermal/rc_model.hh"
@@ -152,6 +154,43 @@ BM_SimulatorTick(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorTick);
+
+void
+BM_ChipModelStep(benchmark::State &state)
+{
+    const auto cores = static_cast<std::uint32_t>(state.range(0));
+    Floorplan fp;
+    ThermalConfig cfg;
+    MulticoreConfig mc;
+    mc.num_cores = cores;
+    multicore::ChipModel chip(fp, cfg, 1.0 / 1.5e9, mc);
+    std::vector<PowerVector> power(cores);
+    for (auto &p : power)
+        p.value.fill(1.5);
+    for (auto _ : state) {
+        chip.step(power);
+        benchmark::DoNotOptimize(chip.temperatures(0));
+    }
+    state.counters["cores"] = static_cast<double>(cores);
+}
+BENCHMARK(BM_ChipModelStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_MulticoreStep(benchmark::State &state)
+{
+    const auto cores = static_cast<std::uint32_t>(state.range(0));
+    SimConfig cfg;
+    cfg.workload = specProfile("186.crafty");
+    cfg.policy.kind = DtmPolicyKind::PerCorePid;
+    cfg.multicore.num_cores = cores;
+    multicore::MulticoreSimulator sim(cfg);
+    for (auto _ : state)
+        sim.run(1);
+    state.counters["knom-cycles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) / 1000.0,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MulticoreStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 void
 BM_WorkloadNext(benchmark::State &state)

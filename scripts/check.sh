@@ -24,6 +24,11 @@
 #                  build) under concurrent clients — a duplicate pair
 #                  must coalesce, client output must be bit-identical to
 #                  a direct thermctl_run, and SIGTERM must drain cleanly
+#   multicore      multicore smoke (ASan+UBSan build): a 4-core
+#                  budget-capped percore-PID run under the sanitizers,
+#                  plus a serve round-trip of the same multicore config
+#                  whose client output must be bit-identical to a
+#                  direct, uncached thermctl_run
 #   loadgen-smoke  open-loop load smoke (ASan+UBSan build): a short
 #                  thermctl_loadgen run against a local daemon on the
 #                  event-driven core must finish with nonzero throughput
@@ -57,7 +62,7 @@ cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 base="build-check"
 
-all_stages="format plain lint analyze thread-safety asan serve loadgen-smoke chaos-smoke tsan fuzz-replay tidy"
+all_stages="format plain lint analyze thread-safety asan serve multicore loadgen-smoke chaos-smoke tsan fuzz-replay tidy"
 selected="all"
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -207,6 +212,59 @@ if want serve; then
     trap - EXIT
 fi
 
+if want multicore; then
+    stage "multicore smoke (ASan+UBSan 4-core run + serve round-trip)"
+    cmake -B "${base}/asan" -S . \
+        -DTHERMCTL_INVARIANTS=ON \
+        "-DTHERMCTL_SANITIZE=address;undefined" >/dev/null
+    cmake --build "${base}/asan" -j "${jobs}" \
+        --target thermctl_serve_bin thermctl_client thermctl_run
+    mc_dir="$(mktemp -d)"
+    mc_pid=""
+    trap 'if [ -n "${mc_pid}" ]; then kill "${mc_pid}" 2>/dev/null || true; fi; rm -rf "${mc_dir}"' EXIT
+
+    # 4-core budget-capped chip under the sanitizers and the
+    # energy-balance invariant: the direct run doubles as the
+    # bit-identity reference for the served one below.
+    mc_flags="--bench 186.crafty --policy percore-PID --cores 4 \
+        --coupling 4 --budget 70 --budget-policy demand \
+        --warmup 2000 --cycles 50000"
+    # shellcheck disable=SC2086
+    "${base}/asan/tools/thermctl_run" ${mc_flags} --no-cache \
+        >"${mc_dir}/direct.out"
+
+    # The adjustable-gain policy must survive the same smoke.
+    "${base}/asan/tools/thermctl_run" --bench 186.crafty \
+        --policy adj-integral --cores 4 --warmup 2000 --cycles 50000 \
+        --no-cache >"${mc_dir}/adj.out"
+
+    mc_sock="${mc_dir}/serve.sock"
+    THERMCTL_FAST=1 "${base}/asan/tools/thermctl_serve" \
+        --socket "${mc_sock}" --cache-dir "${mc_dir}/cache" \
+        --jobs 4 2>"${mc_dir}/serve.log" &
+    mc_pid=$!
+    for _ in $(seq 100); do
+        [ -S "${mc_sock}" ] && break
+        sleep 0.1
+    done
+    [ -S "${mc_sock}" ] || { cat "${mc_dir}/serve.log"; exit 1; }
+
+    # shellcheck disable=SC2086
+    "${base}/asan/tools/thermctl_client" --socket "${mc_sock}" \
+        ${mc_flags} >"${mc_dir}/served.out"
+    cmp "${mc_dir}/served.out" "${mc_dir}/direct.out"
+
+    kill -TERM "${mc_pid}"
+    if ! wait "${mc_pid}"; then
+        echo "multicore smoke: daemon did not drain cleanly on SIGTERM" >&2
+        cat "${mc_dir}/serve.log"
+        exit 1
+    fi
+    mc_pid=""
+    rm -rf "${mc_dir}"
+    trap - EXIT
+fi
+
 if want loadgen-smoke; then
     stage "loadgen smoke (open loop against the event-driven core)"
     cmake -B "${base}/asan" -S . \
@@ -230,9 +288,11 @@ if want loadgen-smoke; then
 
     # Exit 0 already asserts zero transport/protocol errors and zero
     # refusals; the JSON probe double-checks real throughput happened.
+    # --cores 2 routes every generated run/sweep point through the
+    # multicore engine backend.
     THERMCTL_FAST=1 "${base}/asan/tools/thermctl_loadgen" \
         --socket "${lg_sock}" --rate 30 --conns 2 --duration 3 \
-        --seed 42 --json "${lg_dir}/BENCH_serve.json" \
+        --seed 42 --cores 2 --json "${lg_dir}/BENCH_serve.json" \
         | tee "${lg_dir}/loadgen.out"
     throughput="$(awk -F': ' '/"throughput_rps"/ {print $2+0}' \
         "${lg_dir}/BENCH_serve.json")"

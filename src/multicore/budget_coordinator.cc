@@ -1,0 +1,69 @@
+#include "multicore/budget_coordinator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace thermctl::multicore
+{
+
+BudgetCoordinator::BudgetCoordinator(Watts chip_budget,
+                                     BudgetPolicy policy,
+                                     Celsius t_emergency)
+    : budget_(chip_budget), policy_(policy), t_emergency_(t_emergency)
+{
+    if (chip_budget.value() <= 0.0)
+        fatal("BudgetCoordinator: chip budget must be positive, got ",
+              chip_budget.value());
+}
+
+std::vector<Watts>
+BudgetCoordinator::split(const std::vector<Watts> &demand,
+                         const std::vector<Celsius> &hottest) const
+{
+    const std::size_t n = demand.size();
+    if (n == 0 || hottest.size() != n)
+        panic("BudgetCoordinator::split: demand/hottest size mismatch (",
+              n, " vs ", hottest.size(), ")");
+
+    // A tiny floor keeps every weight positive: a zero-weight core
+    // would be starved to exactly 0 W, which no DVFS floor can honour.
+    constexpr double kWeightFloor = 1e-3;
+    std::vector<double> weight(n, 1.0);
+    switch (policy_) {
+      case BudgetPolicy::Uniform:
+        break;
+      case BudgetPolicy::DemandProportional:
+        for (std::size_t i = 0; i < n; ++i)
+            weight[i] = std::max(demand[i].value(), kWeightFloor);
+        break;
+      case BudgetPolicy::ThermalHeadroom:
+        for (std::size_t i = 0; i < n; ++i) {
+            weight[i] = std::max(
+                t_emergency_.value() - hottest[i].value(), 0.0)
+                + kWeightFloor;
+        }
+        break;
+      default:
+        panic("BudgetCoordinator::split: unknown policy");
+    }
+
+    double total_w = 0.0;
+    for (double w : weight)
+        total_w += w;
+
+    // Exact conservation: the last core takes whatever remains, so the
+    // shares sum to the budget bit-exactly regardless of rounding in
+    // the proportional division.
+    std::vector<Watts> out(n);
+    double handed_out = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double share = budget_.value() * (weight[i] / total_w);
+        out[i] = Watts(share);
+        handed_out += share;
+    }
+    out[n - 1] = Watts(budget_.value() - handed_out);
+    return out;
+}
+
+} // namespace thermctl::multicore

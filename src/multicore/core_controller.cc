@@ -1,0 +1,88 @@
+#include "multicore/core_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace thermctl::multicore
+{
+
+// ------------------------------------------------- FixedPidCoreController
+
+FixedPidCoreController::FixedPidCoreController(const PidConfig &cfg)
+    : pid_(cfg)
+{
+}
+
+double
+FixedPidCoreController::update(Celsius hottest)
+{
+    return pid_.update(hottest.value());
+}
+
+// --------------------------------------------- AdjustableIntegralController
+
+AdjustableIntegralController::AdjustableIntegralController(
+    const AdjustableIntegralConfig &cfg)
+    : cfg_(cfg), u_(cfg.out_max), b_hat_(cfg.initial_sensitivity)
+{
+    if (!(cfg.loop_gain > 0.0 && cfg.loop_gain < 2.0))
+        fatal("AdjustableIntegralController: loop_gain must be in "
+              "(0, 2), got ", cfg.loop_gain);
+    if (!(cfg.sensitivity_min > 0.0
+          && cfg.sensitivity_min < cfg.sensitivity_max))
+        fatal("AdjustableIntegralController: need 0 < sensitivity_min "
+              "< sensitivity_max");
+    if (!(cfg.initial_sensitivity >= cfg.sensitivity_min
+          && cfg.initial_sensitivity <= cfg.sensitivity_max))
+        fatal("AdjustableIntegralController: initial_sensitivity "
+              "outside the clamp band");
+    if (!(cfg.out_min < cfg.out_max))
+        fatal("AdjustableIntegralController: out_min must be below "
+              "out_max");
+    if (!(cfg.sensitivity_filter > 0.0 && cfg.sensitivity_filter <= 1.0))
+        fatal("AdjustableIntegralController: sensitivity_filter must "
+              "be in (0, 1]");
+}
+
+double
+AdjustableIntegralController::gain() const
+{
+    return cfg_.loop_gain / b_hat_;
+}
+
+double
+AdjustableIntegralController::update(Celsius hottest)
+{
+    const double temp = hottest.value();
+
+    // Online sensitivity estimate: the observed response dT to the duty
+    // change du we applied last sample. Only meaningfully large duty
+    // changes observe anything (small du divides noise up), and only
+    // positive observations are physical (more duty heats the core).
+    if (have_prev_) {
+        const double du = u_ - prev_u_;
+        if (std::abs(du) > 1e-3) {
+            const double b_obs = (temp - prev_temp_) / du;
+            if (b_obs > 0.0 && std::isfinite(b_obs)) {
+                const double w = cfg_.sensitivity_filter;
+                b_hat_ = std::clamp((1.0 - w) * b_hat_ + w * b_obs,
+                                    cfg_.sensitivity_min,
+                                    cfg_.sensitivity_max);
+            }
+        }
+    }
+    prev_temp_ = temp;
+    prev_u_ = u_;
+    have_prev_ = true;
+
+    // Integral law with the adapted gain. Clamping the state itself is
+    // the anti-windup: the integrator can never leave the actuator
+    // range, so there is nothing to unwind when the error reverses.
+    const double e = cfg_.setpoint.value() - temp;
+    u_ = std::clamp(u_ + gain() * e, cfg_.out_min, cfg_.out_max);
+    return u_;
+}
+
+} // namespace thermctl::multicore

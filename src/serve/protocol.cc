@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
@@ -33,9 +34,33 @@ encodePoint(ByteWriter &w, const PointSpec &p)
     w.u64(p.measure_cycles);
     w.f64(p.ct_setpoint);
     w.u64(p.sample_interval);
+    w.u32(p.num_cores);
+    w.f64(p.coupling_r);
+    w.f64(p.chip_budget);
+    w.u8(p.budget_policy);
 }
 
-void
+/**
+ * Validate the multicore knobs shared by PointSpec and SweepRequest.
+ * Rejecting here (before any config is built) keeps a hostile
+ * num_cores from ever sizing an allocation and turns out-of-range
+ * values into a typed BadRequest instead of a server-side fatal.
+ */
+bool
+multicoreKnobsValid(std::uint32_t num_cores, double coupling_r,
+                    double chip_budget, std::uint8_t budget_policy)
+{
+    if (num_cores > kMaxCores)
+        return false;
+    if (!std::isfinite(coupling_r) || coupling_r < 0.0)
+        return false;
+    if (!std::isfinite(chip_budget) || chip_budget < 0.0)
+        return false;
+    return budget_policy
+           <= static_cast<std::uint8_t>(BudgetPolicy::ThermalHeadroom);
+}
+
+bool
 decodePoint(ByteReader &r, PointSpec &p)
 {
     p.benchmark = r.str();
@@ -44,6 +69,13 @@ decodePoint(ByteReader &r, PointSpec &p)
     p.measure_cycles = r.u64();
     p.ct_setpoint = r.f64();
     p.sample_interval = r.u64();
+    p.num_cores = r.u32();
+    p.coupling_r = r.f64();
+    p.chip_budget = r.f64();
+    p.budget_policy = r.u8();
+    return r.ok()
+           && multicoreKnobsValid(p.num_cores, p.coupling_r, p.chip_budget,
+                                  p.budget_policy);
 }
 
 void
@@ -269,7 +301,8 @@ bool
 RunRequest::decode(std::string_view payload, RunRequest &out)
 {
     ByteReader r(payload);
-    decodePoint(r, out.point);
+    if (!decodePoint(r, out.point))
+        return false;
     out.deadline_ms = r.u64();
     return finish(r);
 }
@@ -284,6 +317,10 @@ SweepRequest::encode() const
     w.u64(measure_cycles);
     w.f64(ct_setpoint);
     w.u64(sample_interval);
+    w.u32(num_cores);
+    w.f64(coupling_r);
+    w.f64(chip_budget);
+    w.u8(budget_policy);
     w.u64(deadline_ms);
     return w.take();
 }
@@ -300,6 +337,15 @@ SweepRequest::decode(std::string_view payload, SweepRequest &out)
     out.measure_cycles = r.u64();
     out.ct_setpoint = r.f64();
     out.sample_interval = r.u64();
+    out.num_cores = r.u32();
+    out.coupling_r = r.f64();
+    out.chip_budget = r.f64();
+    out.budget_policy = r.u8();
+    if (!r.ok()
+        || !multicoreKnobsValid(out.num_cores, out.coupling_r,
+                                out.chip_budget, out.budget_policy)) {
+        return false;
+    }
     out.deadline_ms = r.u64();
     return finish(r);
 }
@@ -316,8 +362,7 @@ bool
 CacheQueryRequest::decode(std::string_view payload, CacheQueryRequest &out)
 {
     ByteReader r(payload);
-    decodePoint(r, out.point);
-    return finish(r);
+    return decodePoint(r, out.point) && finish(r);
 }
 
 std::string

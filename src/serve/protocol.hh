@@ -35,7 +35,7 @@ namespace thermctl::serve
 {
 
 /** Wire protocol revision; bump on any frame or payload layout change. */
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /** Frame magic preceding every message. */
 inline constexpr std::string_view kFrameMagic = "TSRV";
@@ -170,6 +170,11 @@ struct PointSpec
     std::uint64_t measure_cycles = 1000000;
     double ct_setpoint = 0.0;          ///< 0 = config default
     std::uint64_t sample_interval = 0; ///< 0 = config default
+    // Multicore knobs (wire v3). Zero keeps the server-side default.
+    std::uint32_t num_cores = 0;  ///< 0 = default (single core)
+    double coupling_r = 0.0;      ///< K/W between adjacent cores
+    double chip_budget = 0.0;     ///< W; 0 = no budget coordinator
+    std::uint8_t budget_policy = 0; ///< BudgetPolicy enumerator value
 };
 
 struct RunRequest
@@ -191,6 +196,11 @@ struct SweepRequest
     std::uint64_t measure_cycles = 1000000;
     double ct_setpoint = 0.0;
     std::uint64_t sample_interval = 0;
+    // Multicore knobs shared by every point (wire v3, zero = default).
+    std::uint32_t num_cores = 0;
+    double coupling_r = 0.0;
+    double chip_budget = 0.0;
+    std::uint8_t budget_policy = 0;
     std::uint64_t deadline_ms = 0;
 
     [[nodiscard]] std::string encode() const;

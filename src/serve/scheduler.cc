@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/mutex.hh"
 #include "fault/fault.hh"
+#include "multicore/multicore_sim.hh"
 #include "sim/policy_factory.hh"
 #include "workload/spec_profiles.hh"
 
@@ -51,6 +52,19 @@ resolvePoint(const PointSpec &spec, const SimConfig &base)
     }
     if (spec.sample_interval != 0)
         pt.config.dtm.sample_interval = spec.sample_interval;
+    // Multicore knobs: zero keeps the server-side config default. The
+    // values were range-checked at decode time (multicoreKnobsValid),
+    // so resolution never fatals on client input.
+    if (spec.num_cores != 0)
+        pt.config.multicore.num_cores = spec.num_cores;
+    if (spec.coupling_r != 0.0)
+        pt.config.multicore.coupling_resistance = spec.coupling_r;
+    if (spec.chip_budget != 0.0)
+        pt.config.multicore.chip_budget = spec.chip_budget;
+    if (spec.budget_policy != 0) {
+        pt.config.multicore.budget_policy =
+            static_cast<BudgetPolicy>(spec.budget_policy);
+    }
     pt.proto.warmup_cycles = spec.warmup_cycles;
     pt.proto.measure_cycles = spec.measure_cycles;
     pt.key = sweepKey(pt.config.workload.name,
@@ -98,6 +112,9 @@ Scheduler::Scheduler(const Options &opts)
     : opts_(opts), engine_(opts.sweep),
       latency_hist_ms_(0.0, 60000.0, 6000)
 {
+    // Any admitted point may carry multicore knobs; make sure the
+    // engine can dispatch them before the first dispatcher starts.
+    multicore::ensureBackendRegistered();
     const unsigned n = std::max(1u, opts_.dispatchers);
     dispatchers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)

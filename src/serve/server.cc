@@ -111,23 +111,6 @@ ServerOptions::schedulerOptions() const
     return sched;
 }
 
-ServerOptions
-legacyServerOptions(const LegacyServerOptions &legacy)
-{
-    ServerOptions opts;
-    opts.unix_path = legacy.unix_path;
-    opts.tcp = legacy.tcp;
-    opts.tcp_port = legacy.tcp_port;
-    opts.backlog = legacy.backlog;
-    opts.base = legacy.base;
-    opts.sweep = legacy.sched.sweep;
-    opts.max_queue = legacy.sched.max_queue;
-    opts.dispatchers = legacy.sched.dispatchers;
-    opts.batch_window_ms = legacy.sched.batch_window_ms;
-    opts.watchdog_ms = legacy.sched.watchdog_ms;
-    return opts;
-}
-
 Server::Server(const ServerOptions &opts)
     : opts_(opts),
       sched_(std::make_unique<Scheduler>(opts.schedulerOptions())),

@@ -132,33 +132,6 @@ struct ServerOptions
     [[nodiscard]] Scheduler::Options schedulerOptions() const;
 };
 
-/**
- * Pre-event-loop option shape (nested Scheduler::Options). Kept one
- * release so out-of-tree callers migrate deliberately; the conversion
- * preserves every old knob and takes the new-core defaults for the
- * rest.
- */
-struct LegacyServerOptions
-{
-    std::string unix_path;
-    bool tcp = false;
-    int tcp_port = 0;
-    SimConfig base;
-    Scheduler::Options sched;
-    int backlog = 16;
-};
-
-/** Conversion core shared by the deprecated shims (not deprecated). */
-ServerOptions legacyServerOptions(const LegacyServerOptions &legacy);
-
-/** @deprecated Build a flat ServerOptions instead; gone next release. */
-[[deprecated("build a flat ServerOptions instead")]]
-inline ServerOptions
-fromLegacy(const LegacyServerOptions &legacy)
-{
-    return legacyServerOptions(legacy);
-}
-
 /** @return the default Unix socket path ($XDG_RUNTIME_DIR or /tmp). */
 std::string defaultSocketPath();
 
@@ -166,13 +139,6 @@ class Server
 {
   public:
     explicit Server(const ServerOptions &opts);
-
-    /** @deprecated Construct from the flat ServerOptions instead. */
-    [[deprecated("construct from the flat ServerOptions instead")]]
-    explicit Server(const LegacyServerOptions &legacy)
-        : Server(legacyServerOptions(legacy))
-    {
-    }
 
     ~Server();
 

@@ -36,6 +36,10 @@ enum class DtmPolicyKind
     SpecControl, ///< bounded unresolved branches while engaged
     VfScale,     ///< global voltage/frequency scaling while engaged
     Hierarchical, ///< PID toggling + V/f scaling backup near emergency
+    // Multicore policies (src/multicore): per-core controllers driving
+    // the DVFS ladder, coordinated by the chip-level budget supervisor.
+    PerCorePid,  ///< per-core fixed-gain PID on DVFS (ControlPULP-style)
+    AdjIntegral, ///< per-core adjustable-gain integral (Rao et al.)
 };
 
 /** @return printable policy name ("toggle1", "PID", ...). */
@@ -105,6 +109,56 @@ struct DtmPolicySettings
     Celsius failsafe_max_plausible = 150.0;
 };
 
+/** How the budget coordinator splits the chip budget across cores. */
+enum class BudgetPolicy
+{
+    Uniform,            ///< equal share per core
+    DemandProportional, ///< shares follow recent per-core power demand
+    ThermalHeadroom,    ///< shares follow distance to the emergency level
+};
+
+/** @return printable budget-policy name ("uniform", ...). */
+const char *budgetPolicyName(BudgetPolicy policy);
+
+/** Hard cap on cores per chip (bounds protocol decode allocations). */
+inline constexpr std::uint32_t kMaxCores = 64;
+
+/**
+ * Multicore chip configuration (src/multicore). The defaults describe a
+ * single-core chip, which runs through the classic single-core engine;
+ * num_cores > 1 (or a multicore policy kind) selects the multicore
+ * engine backend.
+ */
+struct MulticoreConfig
+{
+    /** Cores on the chip, each a full paper floorplan. 1..kMaxCores. */
+    std::uint32_t num_cores = 1;
+
+    /**
+     * Lateral thermal resistance (K/W) between each pair of facing
+     * boundary blocks of adjacent cores. <= 0 disables inter-core
+     * coupling (cores interact only through the shared heatsink).
+     */
+    KelvinPerWatt coupling_resistance = 4.0;
+
+    /**
+     * Chip-level power budget (Watts) split across cores each control
+     * epoch. <= 0 disables budgeting (every core runs uncapped).
+     */
+    Watts chip_budget = 0.0;
+
+    BudgetPolicy budget_policy = BudgetPolicy::Uniform;
+
+    /** Budget epoch length, in controller samples (>= 1). */
+    std::uint32_t budget_epoch_samples = 10;
+
+    /** DVFS ladder levels above the floor (level==levels -> nominal). */
+    std::uint32_t dvfs_levels = 7;
+
+    /** Clock scale at ladder level 0 (the slowest operating point). */
+    double dvfs_min_scale = 0.3;
+};
+
 /** Complete configuration of one simulation run. */
 struct SimConfig
 {
@@ -125,6 +179,7 @@ struct SimConfig
     ThermalConfig thermal{};
     DtmConfig dtm{};
     DtmPolicySettings policy{};
+    MulticoreConfig multicore{};
 };
 
 } // namespace thermctl

@@ -1,9 +1,38 @@
 #include "sim/experiment.hh"
 
+#include <atomic>
+
+#include "common/logging.hh"
 #include "sim/sweep.hh"
 
 namespace thermctl
 {
+
+namespace
+{
+
+std::atomic<MulticoreRunFn> g_multicore_backend{nullptr};
+
+} // namespace
+
+void
+registerMulticoreBackend(MulticoreRunFn fn)
+{
+    g_multicore_backend.store(fn, std::memory_order_release);
+}
+
+bool
+multicoreBackendRegistered()
+{
+    return g_multicore_backend.load(std::memory_order_acquire) != nullptr;
+}
+
+bool
+needsMulticoreEngine(const SimConfig &cfg)
+{
+    return cfg.multicore.num_cores > 1
+        || isMulticorePolicy(cfg.policy.kind);
+}
 
 ExperimentRunner::ExperimentRunner(const RunProtocol &protocol)
     : protocol_(protocol)
@@ -18,6 +47,18 @@ ExperimentRunner::runOne(const WorkloadProfile &profile,
     SimConfig cfg = base;
     cfg.workload = profile;
     cfg.policy = policy;
+
+    if (needsMulticoreEngine(cfg)) {
+        const MulticoreRunFn fn =
+            g_multicore_backend.load(std::memory_order_acquire);
+        if (!fn) {
+            fatal("multicore config (num_cores=", cfg.multicore.num_cores,
+                  ", policy=", dtmPolicyKindName(cfg.policy.kind),
+                  ") but no multicore backend registered; call "
+                  "multicore::ensureBackendRegistered() at startup");
+        }
+        return fn(cfg, protocol_);
+    }
 
     Simulator sim(cfg);
     sim.warmUp(protocol_.warmup_cycles);

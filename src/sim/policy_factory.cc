@@ -24,21 +24,56 @@ dtmPolicyKindName(DtmPolicyKind kind)
       case DtmPolicyKind::SpecControl: return "spec-ctrl";
       case DtmPolicyKind::VfScale: return "vf-scaling";
       case DtmPolicyKind::Hierarchical: return "PID+vf";
+      case DtmPolicyKind::PerCorePid: return "percore-PID";
+      case DtmPolicyKind::AdjIntegral: return "adj-integral";
       default: return "?";
     }
+}
+
+const char *
+budgetPolicyName(BudgetPolicy policy)
+{
+    switch (policy) {
+      case BudgetPolicy::Uniform: return "uniform";
+      case BudgetPolicy::DemandProportional: return "demand";
+      case BudgetPolicy::ThermalHeadroom: return "headroom";
+      default: return "?";
+    }
+}
+
+bool
+parseBudgetPolicy(const std::string &name, BudgetPolicy &out)
+{
+    for (BudgetPolicy p :
+         {BudgetPolicy::Uniform, BudgetPolicy::DemandProportional,
+          BudgetPolicy::ThermalHeadroom}) {
+        if (name == budgetPolicyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isMulticorePolicy(DtmPolicyKind kind)
+{
+    return kind == DtmPolicyKind::PerCorePid
+        || kind == DtmPolicyKind::AdjIntegral;
 }
 
 namespace
 {
 
 /** The kinds a user can name on the CLI or over the wire. */
-constexpr std::array<DtmPolicyKind, 11> kNamedPolicies = {
+constexpr std::array<DtmPolicyKind, 13> kNamedPolicies = {
     DtmPolicyKind::None,        DtmPolicyKind::Toggle1,
     DtmPolicyKind::Toggle2,     DtmPolicyKind::Manual,
     DtmPolicyKind::P,           DtmPolicyKind::PI,
     DtmPolicyKind::PID,         DtmPolicyKind::Throttle,
     DtmPolicyKind::SpecControl, DtmPolicyKind::VfScale,
-    DtmPolicyKind::Hierarchical,
+    DtmPolicyKind::Hierarchical, DtmPolicyKind::PerCorePid,
+    DtmPolicyKind::AdjIntegral,
 };
 
 } // namespace
@@ -163,6 +198,11 @@ makeInnerPolicy(const DtmPolicySettings &settings, const FopdtPlant &plant,
                     settings.ct_range_low),
             settings.hierarchy_backup_trigger, settings.vf_scale,
             settings.vf_policy_delay);
+      case DtmPolicyKind::PerCorePid:
+      case DtmPolicyKind::AdjIntegral:
+        panic("policy '", dtmPolicyKindName(settings.kind),
+              "' needs the multicore engine (src/multicore); it cannot "
+              "run inside the single-core DTM manager");
       default:
         panic("unknown DTM policy kind");
     }

@@ -33,6 +33,19 @@ std::vector<std::string> dtmPolicyNames();
 bool parseDtmPolicyKind(const std::string &name, DtmPolicyKind &out);
 
 /**
+ * Inverse of budgetPolicyName.
+ * @return false when `name` is not a known budget-policy name.
+ */
+bool parseBudgetPolicy(const std::string &name, BudgetPolicy &out);
+
+/**
+ * @return true for the policy kinds that only run inside the multicore
+ * engine (PerCorePid, AdjIntegral). makeDtmPolicy panics on them; the
+ * experiment runner dispatches such configs to the multicore backend.
+ */
+bool isMulticorePolicy(DtmPolicyKind kind);
+
+/**
  * Derive the FOPDT plant seen by the DTM controller.
  *
  * tau: the longest RC among the hot-spot blocks (the paper: "we used the

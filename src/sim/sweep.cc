@@ -28,7 +28,7 @@ namespace
  * field (new microarchitectural detail, changed constants, fixed bug):
  * stale entries then miss instead of serving wrong results.
  */
-constexpr std::string_view kSweepCacheSalt = "thermctl-sweep-v3";
+constexpr std::string_view kSweepCacheSalt = "thermctl-sweep-v4";
 
 /** Cache entry magic ("ThermCtl Run, format 2"). */
 constexpr std::string_view kCacheMagic = "TCRUN002";
@@ -58,7 +58,9 @@ static_assert(sizeof(SensorConfig) == 64 && sizeof(DtmConfig) == 104,
 static_assert(sizeof(LoopShapingSpec) == 24
                   && sizeof(DtmPolicySettings) == 144,
               "policy settings changed: update feed() in sweep.cc");
-static_assert(sizeof(SimConfig) == 1304,
+static_assert(sizeof(MulticoreConfig) == 48,
+              "multicore config changed: update feed() in sweep.cc");
+static_assert(sizeof(SimConfig) == 1352,
               "SimConfig changed: update sweepConfigDigest()");
 #endif
 
@@ -186,6 +188,16 @@ feed(HashStream &h, const DtmPolicySettings &s)
     h.f64(s.hierarchy_backup_trigger);
     h.b(s.failsafe).u64(s.failsafe_stuck_samples);
     h.f64(s.failsafe_min_plausible).f64(s.failsafe_max_plausible);
+}
+
+void
+feed(HashStream &h, const MulticoreConfig &m)
+{
+    h.u64(m.num_cores).f64(m.coupling_resistance);
+    h.f64(m.chip_budget);
+    h.u64(static_cast<std::uint64_t>(m.budget_policy));
+    h.u64(m.budget_epoch_samples);
+    h.u64(m.dvfs_levels).f64(m.dvfs_min_scale);
 }
 
 /** @return true when the bytes form a valid entry for `digest`. */
@@ -676,6 +688,7 @@ sweepConfigDigest(const SimConfig &cfg, const RunProtocol &proto)
     h.f64(cfg.thermal.t_base).f64(cfg.thermal.t_emergency);
     feed(h, cfg.dtm);
     feed(h, cfg.policy);
+    feed(h, cfg.multicore);
     return h.digest();
 }
 

@@ -38,6 +38,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "fault/fault.hh"
+#include "multicore/multicore_sim.hh"
 #include "serve/client.hh"
 #include "serve/connect.hh"
 #include "serve/server.hh"
@@ -123,7 +124,8 @@ struct SoakPoint
 {
     std::string benchmark;
     std::string policy;
-    std::string expected; ///< serialized fault-free RunResult
+    std::uint32_t num_cores = 0; ///< 0 = server default (single core)
+    std::string expected;        ///< serialized fault-free RunResult
 };
 
 constexpr std::uint64_t kWarmup = 1000;
@@ -146,8 +148,24 @@ precomputeExpected()
             const RunResult result =
                 runner.runOne(specProfile(bench), cfg.policy, cfg);
             points.push_back(
-                {bench, policy, serializeRunResult(result)});
+                {bench, policy, 0, serializeRunResult(result)});
         }
+    }
+
+    // Multicore points so the soak covers the wire-v3 knobs and the
+    // multicore engine backend end to end (faulted transport, cache,
+    // scheduler). Direct runs dispatch through the same backend the
+    // server uses.
+    multicore::ensureBackendRegistered();
+    for (const char *policy : {"percore-PID", "adj-integral"}) {
+        SimConfig cfg;
+        if (!parseDtmPolicyKind(policy, cfg.policy.kind))
+            fatal("chaos_soak: unknown policy ", policy);
+        cfg.multicore.num_cores = 2;
+        const RunResult result =
+            runner.runOne(specProfile("186.crafty"), cfg.policy, cfg);
+        points.push_back(
+            {"186.crafty", policy, 2, serializeRunResult(result)});
     }
     return points;
 }
@@ -185,6 +203,7 @@ runClient(const std::string &endpoint, const SoakFlags &flags,
         RunRequest req;
         req.point.benchmark = point.benchmark;
         req.point.policy = point.policy;
+        req.point.num_cores = point.num_cores;
         req.point.warmup_cycles = kWarmup;
         req.point.measure_cycles = kMeasure;
         const PointReply reply = client->run(req);
@@ -289,6 +308,7 @@ main(int argc, char **argv)
             RunRequest req;
             req.point.benchmark = point.benchmark;
             req.point.policy = point.policy;
+            req.point.num_cores = point.num_cores;
             req.point.warmup_cycles = kWarmup;
             req.point.measure_cycles = kMeasure;
             const PointReply reply = verify.run(req);

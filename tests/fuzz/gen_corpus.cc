@@ -89,11 +89,17 @@ genProtocol(const fs::path &dir)
     // --- seeds: every message type, encoded by the real encoders.
     RunRequest run_req;
     run_req.deadline_ms = 2500;
+    run_req.point.num_cores = 4;
+    run_req.point.coupling_r = 4.0;
+    run_req.point.chip_budget = 60.0;
+    run_req.point.budget_policy = 1; // demand-proportional
 
     SweepRequest sweep_req;
     sweep_req.benchmarks = {"186.crafty", "183.equake"};
     sweep_req.policies = {"none", "PI"};
     sweep_req.ct_setpoint = 81.8;
+    sweep_req.num_cores = 2;
+    sweep_req.chip_budget = 45.0;
 
     CacheQueryRequest cache_req;
 
@@ -173,6 +179,29 @@ genProtocol(const fs::path &dir)
         const std::string full = run_req.encode();
         ok &= writeBytes(dir / "regress_run_request_truncated",
                          sel(1, full.substr(0, full.size() / 2)));
+    }
+    // Hostile multicore knobs (wire v3): a core count far beyond
+    // kMaxCores, a negative coupling resistance, and an unknown budget
+    // policy must each fail decode as a typed bad request — before any
+    // core-count-sized allocation happens server-side.
+    {
+        RunRequest hostile = run_req;
+        hostile.point.num_cores = 0xffffffffu;
+        ok &= writeBytes(dir / "regress_run_request_hostile_cores",
+                         sel(1, hostile.encode()));
+    }
+    {
+        RunRequest hostile = run_req;
+        hostile.point.coupling_r = -4.0;
+        ok &= writeBytes(dir / "regress_run_request_negative_coupling",
+                         sel(1, hostile.encode()));
+    }
+    {
+        SweepRequest hostile = sweep_req;
+        hostile.num_cores = 0xffffffffu;
+        hostile.budget_policy = 0xff;
+        ok &= writeBytes(dir / "regress_sweep_request_hostile_cores",
+                         sel(2, hostile.encode()));
     }
     // Frame header abuse: bad magic, foreign version, oversize length.
     {

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -190,6 +191,10 @@ TEST(ServeProtocol, RunRequestRoundTrips)
     in.point.measure_cycles = 456789;
     in.point.ct_setpoint = 110.5;
     in.point.sample_interval = 2500;
+    in.point.num_cores = 4;
+    in.point.coupling_r = 3.5;
+    in.point.chip_budget = 62.5;
+    in.point.budget_policy = 2;
     in.deadline_ms = 4000;
 
     RunRequest out;
@@ -200,7 +205,58 @@ TEST(ServeProtocol, RunRequestRoundTrips)
     EXPECT_EQ(out.point.measure_cycles, in.point.measure_cycles);
     EXPECT_EQ(out.point.ct_setpoint, in.point.ct_setpoint);
     EXPECT_EQ(out.point.sample_interval, in.point.sample_interval);
+    EXPECT_EQ(out.point.num_cores, in.point.num_cores);
+    EXPECT_EQ(out.point.coupling_r, in.point.coupling_r);
+    EXPECT_EQ(out.point.chip_budget, in.point.chip_budget);
+    EXPECT_EQ(out.point.budget_policy, in.point.budget_policy);
     EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+}
+
+TEST(ServeProtocol, DecodersRejectHostileMulticoreKnobs)
+{
+    // The knobs are validated at decode, before any core-count-sized
+    // allocation: counts beyond kMaxCores, non-finite or negative
+    // doubles, and unknown budget policies all fail the whole message.
+    RunRequest base;
+    base.point.benchmark = "186.crafty";
+    base.point.policy = "percore-PID";
+
+    RunRequest out;
+    ASSERT_TRUE(RunRequest::decode(base.encode(), out));
+
+    RunRequest hostile = base;
+    hostile.point.num_cores = 0xffffffffu;
+    EXPECT_FALSE(RunRequest::decode(hostile.encode(), out));
+    hostile = base;
+    hostile.point.num_cores = kMaxCores + 1;
+    EXPECT_FALSE(RunRequest::decode(hostile.encode(), out));
+    hostile = base;
+    hostile.point.coupling_r = -4.0;
+    EXPECT_FALSE(RunRequest::decode(hostile.encode(), out));
+    hostile = base;
+    hostile.point.chip_budget =
+        -std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(RunRequest::decode(hostile.encode(), out));
+    hostile = base;
+    hostile.point.coupling_r =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(RunRequest::decode(hostile.encode(), out));
+    hostile = base;
+    hostile.point.budget_policy = 3;
+    EXPECT_FALSE(RunRequest::decode(hostile.encode(), out));
+
+    SweepRequest sweep;
+    sweep.benchmarks = {"186.crafty"};
+    sweep.policies = {"none"};
+    sweep.num_cores = 0xffffffffu;
+    SweepRequest sweep_out;
+    EXPECT_FALSE(SweepRequest::decode(sweep.encode(), sweep_out));
+    sweep.num_cores = 4;
+    sweep.budget_policy = 0xff;
+    EXPECT_FALSE(SweepRequest::decode(sweep.encode(), sweep_out));
+    sweep.budget_policy = 0;
+    EXPECT_TRUE(SweepRequest::decode(sweep.encode(), sweep_out));
+    EXPECT_EQ(sweep_out.num_cores, 4u);
 }
 
 TEST(ServeProtocol, SweepRequestRoundTrips)
@@ -1241,41 +1297,25 @@ TEST(ServeServer, IdleConnectionsAreEvictedOnTimeout)
 
 // ------------------------------------------------ redesigned surface
 
-TEST(ServeOptions, LegacyShapeConvertsFieldForField)
+TEST(ServeOptions, SchedulerSliceCarriesEveryKnob)
 {
-    LegacyServerOptions legacy;
-    legacy.unix_path = "/tmp/legacy.sock";
-    legacy.tcp = true;
-    legacy.tcp_port = 4321;
-    legacy.backlog = 7;
-    legacy.sched.sweep.use_cache = true;
-    legacy.sched.sweep.cache_dir = "/tmp/cache";
-    legacy.sched.sweep.jobs = 3;
-    legacy.sched.max_queue = 99;
-    legacy.sched.dispatchers = 5;
-    legacy.sched.batch_window_ms = 11;
-    legacy.sched.watchdog_ms = 2200;
+    ServerOptions opts;
+    opts.sweep.use_cache = true;
+    opts.sweep.cache_dir = "/tmp/cache";
+    opts.sweep.jobs = 3;
+    opts.max_queue = 99;
+    opts.dispatchers = 5;
+    opts.batch_window_ms = 11;
+    opts.watchdog_ms = 2200;
 
-    const ServerOptions opts = legacyServerOptions(legacy);
-    EXPECT_EQ(opts.unix_path, "/tmp/legacy.sock");
-    EXPECT_TRUE(opts.tcp);
-    EXPECT_EQ(opts.tcp_port, 4321);
-    EXPECT_EQ(opts.backlog, 7);
-    EXPECT_TRUE(opts.sweep.use_cache);
-    EXPECT_EQ(opts.sweep.cache_dir, "/tmp/cache");
-    EXPECT_EQ(opts.sweep.jobs, 3u);
-    EXPECT_EQ(opts.max_queue, 99u);
-    EXPECT_EQ(opts.dispatchers, 5u);
-    EXPECT_EQ(opts.batch_window_ms, 11u);
-    EXPECT_EQ(opts.watchdog_ms, 2200u);
-
-    // The scheduler slice reconstitutes the old nested options.
     const Scheduler::Options sched = opts.schedulerOptions();
     EXPECT_EQ(sched.max_queue, 99u);
     EXPECT_EQ(sched.dispatchers, 5u);
     EXPECT_EQ(sched.batch_window_ms, 11u);
     EXPECT_EQ(sched.watchdog_ms, 2200u);
     EXPECT_TRUE(sched.sweep.use_cache);
+    EXPECT_EQ(sched.sweep.cache_dir, "/tmp/cache");
+    EXPECT_EQ(sched.sweep.jobs, 3u);
 }
 
 TEST(ServeConnect, FactoryServesDataAndControlPlanesAlike)

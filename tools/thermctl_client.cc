@@ -13,6 +13,10 @@
  *     --cycles N         measured cycles (default 1000000)
  *     --setpoint T       CT setpoint in C (0 = server default)
  *     --sample N         controller sampling interval (0 = default)
+ *     --cores N          number of cores (0 = server default)
+ *     --coupling R       inter-core coupling resistance in K/W
+ *     --budget W         chip power budget in W (0 = server default)
+ *     --budget-policy P  uniform|demand|headroom
  *     --deadline MS      per-request deadline; expired requests fail
  *                        with a typed deadline error (default: none)
  *     --csv PATH         append one CSV record per result
@@ -45,6 +49,7 @@
 #include "fault/fault.hh"
 #include "serve/connect.hh"
 #include "serve/server.hh"
+#include "sim/policy_factory.hh"
 
 using namespace thermctl;
 using namespace thermctl::serve;
@@ -80,7 +85,10 @@ usage()
         "                       [--bench NAME[,NAME...]]\n"
         "                       [--policy NAME[,NAME...]]\n"
         "                       [--warmup N] [--cycles N] [--setpoint T]\n"
-        "                       [--sample N] [--deadline MS] [--csv PATH]\n"
+        "                       [--sample N] [--cores N] [--coupling R]\n"
+        "                       [--budget W]\n"
+        "                       [--budget-policy uniform|demand|headroom]\n"
+        "                       [--deadline MS] [--csv PATH]\n"
         "                       [--cache-query] [--stats] [--drain]\n"
         "                       [--retries N] [--retry-base-ms N]\n"
         "                       [--retry-deadline-ms N]\n"
@@ -192,6 +200,24 @@ main(int argc, char **argv)
                 knobs.ct_setpoint = std::stod(next());
             } else if (arg == "--sample") {
                 knobs.sample_interval = std::stoull(next());
+            } else if (arg == "--cores") {
+                const unsigned long v = std::stoul(next());
+                if (v > kMaxCores)
+                    fatal("--cores must be <= ", kMaxCores);
+                knobs.num_cores = static_cast<std::uint32_t>(v);
+            } else if (arg == "--coupling") {
+                knobs.coupling_r = std::stod(next());
+            } else if (arg == "--budget") {
+                knobs.chip_budget = std::stod(next());
+            } else if (arg == "--budget-policy") {
+                const std::string name = next();
+                BudgetPolicy policy;
+                if (!parseBudgetPolicy(name, policy)) {
+                    fatal("unknown budget policy '", name,
+                          "' (expected uniform|demand|headroom)");
+                }
+                knobs.budget_policy =
+                    static_cast<std::uint8_t>(policy);
             } else if (arg == "--deadline") {
                 deadline_ms = std::stoull(next());
             } else if (arg == "--csv") {
@@ -291,6 +317,10 @@ main(int argc, char **argv)
             req.measure_cycles = knobs.measure_cycles;
             req.ct_setpoint = knobs.ct_setpoint;
             req.sample_interval = knobs.sample_interval;
+            req.num_cores = knobs.num_cores;
+            req.coupling_r = knobs.coupling_r;
+            req.chip_budget = knobs.chip_budget;
+            req.budget_policy = knobs.budget_policy;
             req.deadline_ms = deadline_ms;
             points = client->sweep(req).points;
         }

@@ -17,6 +17,8 @@
  *     --policy NAME      policy for generated points (default none)
  *     --warmup N         warm-up cycles per point (default 1000)
  *     --cycles N         measured cycles per point (default 10000)
+ *     --cores N          cores per generated point (default 1; >1 routes
+ *                        through the multicore engine, DESIGN.md §15)
  *     --fake-work-us N   calibrated client-side work per completion,
  *                        microseconds (default 0)
  *     --max-wait-ms N    grace for outstanding replies after the last
@@ -65,6 +67,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "serve/protocol.hh"
+#include "sim/config.hh"
 #include "serve/server.hh"
 
 using namespace thermctl;
@@ -83,7 +86,7 @@ usage()
         "                        [--conns N] [--duration S] [--seed S]\n"
         "                        [--mix run=W,cache=W,sweep=W]\n"
         "                        [--bench NAME] [--policy NAME]\n"
-        "                        [--warmup N] [--cycles N]\n"
+        "                        [--warmup N] [--cycles N] [--cores N]\n"
         "                        [--fake-work-us N] [--max-wait-ms N]\n"
         "                        [--json PATH]\n";
 }
@@ -358,6 +361,11 @@ main(int argc, char **argv)
                 knobs.warmup_cycles = std::stoull(next());
             } else if (arg == "--cycles") {
                 knobs.measure_cycles = std::stoull(next());
+            } else if (arg == "--cores") {
+                const unsigned long v = std::stoul(next());
+                if (v > kMaxCores)
+                    fatal("--cores must be <= ", kMaxCores);
+                knobs.num_cores = static_cast<std::uint32_t>(v);
             } else if (arg == "--fake-work-us") {
                 fake_work_us = std::stoull(next());
             } else if (arg == "--max-wait-ms") {
@@ -418,6 +426,10 @@ main(int argc, char **argv)
         sweep_req.policies = {knobs.policy};
         sweep_req.warmup_cycles = knobs.warmup_cycles;
         sweep_req.measure_cycles = knobs.measure_cycles;
+        sweep_req.num_cores = knobs.num_cores;
+        sweep_req.coupling_r = knobs.coupling_r;
+        sweep_req.chip_budget = knobs.chip_budget;
+        sweep_req.budget_policy = knobs.budget_policy;
         CacheQueryRequest cache_req;
         cache_req.point = knobs;
         const std::string run_frame =

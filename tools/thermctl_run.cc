@@ -15,6 +15,11 @@
  *     --cycles N         measured cycles (default 1000000)
  *     --setpoint T       CT setpoint in C (default 111.6)
  *     --sample N         controller sampling interval (default 1000)
+ *     --cores N          number of cores (default 1; >1 or a multicore
+ *                        policy routes through the multicore engine)
+ *     --coupling R       inter-core coupling resistance in K/W
+ *     --budget W         chip power budget in W (0 = uncoordinated)
+ *     --budget-policy P  uniform|demand|headroom (default uniform)
  *     --jobs N           sweep worker threads (default THERMCTL_JOBS
  *                        or all cores)
  *     --cache-dir PATH   result cache directory (default
@@ -39,6 +44,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "multicore/multicore_sim.hh"
 #include "sim/policy_factory.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -90,9 +96,13 @@ usage()
     std::cout <<
         "usage: thermctl_run [--bench NAME[,NAME...] | --trace PATH]\n"
         "                    [--policy none|toggle1|toggle2|M|P|PI|PID|\n"
-        "                     throttle|spec-ctrl|vf-scaling[,...]]\n"
+        "                     throttle|spec-ctrl|vf-scaling|percore-PID|\n"
+        "                     adj-integral[,...]]\n"
         "                    [--warmup N] [--cycles N] [--setpoint T]\n"
-        "                    [--sample N] [--jobs N] [--cache-dir PATH]\n"
+        "                    [--sample N] [--cores N] [--coupling R]\n"
+        "                    [--budget W]\n"
+        "                    [--budget-policy uniform|demand|headroom]\n"
+        "                    [--jobs N] [--cache-dir PATH]\n"
         "                    [--no-cache] [--csv PATH]\n"
         "                    [--trace-temps PATH] [--list]\n";
 }
@@ -173,6 +183,23 @@ main(int argc, char **argv)
                 cfg.policy.ct_range_low = cfg.policy.ct_setpoint - 0.2;
             } else if (arg == "--sample") {
                 cfg.dtm.sample_interval = std::stoull(next());
+            } else if (arg == "--cores") {
+                const unsigned long v = std::stoul(next());
+                if (v < 1 || v > kMaxCores)
+                    fatal("--cores must be in [1, ", kMaxCores, "]");
+                cfg.multicore.num_cores =
+                    static_cast<std::uint32_t>(v);
+            } else if (arg == "--coupling") {
+                cfg.multicore.coupling_resistance = std::stod(next());
+            } else if (arg == "--budget") {
+                cfg.multicore.chip_budget = std::stod(next());
+            } else if (arg == "--budget-policy") {
+                const std::string name = next();
+                if (!parseBudgetPolicy(name,
+                                       cfg.multicore.budget_policy)) {
+                    fatal("unknown budget policy '", name,
+                          "' (expected uniform|demand|headroom)");
+                }
             } else if (arg == "--jobs") {
                 const long v = std::stol(next());
                 if (v < 1)
@@ -204,6 +231,7 @@ main(int argc, char **argv)
     }
 
     try {
+        multicore::ensureBackendRegistered();
         if (benches.empty())
             benches = {"186.crafty"};
         if (policies.empty())
@@ -225,6 +253,10 @@ main(int argc, char **argv)
             if (cfg.trace_path.empty())
                 cfg.workload = specProfile(benches.front());
             cfg.policy.kind = parsePolicy(policies.front());
+            if (needsMulticoreEngine(cfg))
+                fatal("--trace/--trace-temps probe the single-core "
+                      "Simulator; they do not support multicore "
+                      "configs or policies");
             Simulator sim(cfg);
 
             std::ofstream temps_out;
