@@ -10,10 +10,14 @@
 #                  entries fail the stage
 #   analyze        thermctl_analyze whole-project static analysis:
 #                  include-graph layering (.thermctl-layers) + cycle
-#                  detection, unchecked must-check returns, and static
-#                  lock-order auditing, with the committed baseline
-#                  (.thermctl-analyze-allow); one invocation over the
-#                  whole tree so cross-file edges are visible
+#                  detection, unchecked must-check returns, static
+#                  lock-order auditing, CFG+taint alloc-bound checking
+#                  (deserialized counts must pass a dominating bound
+#                  before reserve/resize/new[]), and struct-field
+#                  coverage of digest/encode/decode bodies, with the
+#                  committed baseline (.thermctl-analyze-allow); one
+#                  invocation over the whole tree so cross-file edges
+#                  are visible
 #   thread-safety  compile with Clang Thread Safety Analysis as errors
 #                  (THERMCTL_THREAD_SAFETY=ON; skipped when clang++ is
 #                  absent)

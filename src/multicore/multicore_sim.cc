@@ -93,6 +93,8 @@ MulticoreSimulator::MulticoreSimulator(const SimConfig &cfg)
     const FopdtPlant plant = deriveDtmPlant(
         floorplan_, power_, cfg.dtm, cfg.power.tech.cycleSeconds());
 
+    // Bounded: chip_'s ChipModel ctor ran in the member-init list above
+    // and fatally rejects num_cores outside [1, kMaxCores].
     const std::size_t n = mc.num_cores;
     cores_.reserve(n);
     for (std::size_t c = 0; c < n; ++c) {

@@ -35,8 +35,11 @@ constexpr std::string_view kCacheMagic = "TCRUN002";
 
 // The digest must cover every configuration field: a field the hash
 // misses is a field whose change silently serves stale cached results.
-// These size guards force whoever adds a field to revisit the feed()
-// overloads below (and bump kSweepCacheSalt when behaviour changed).
+// The name-level contract is enforced by thermctl_analyze's
+// field-coverage pass (DESIGN.md §16): a field absent from its feed()
+// overload fails --ci. These size guards remain as a backstop for type
+// changes that keep field names (and as a reminder to bump
+// kSweepCacheSalt when behaviour changed).
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(InstructionMix) == 72
                   && sizeof(WorkloadPhase) == 48

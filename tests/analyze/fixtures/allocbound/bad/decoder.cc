@@ -1,0 +1,72 @@
+// Bad fixture: hand-broken variants of the PR-4 decoder fixes. The
+// count prefix is trusted before any bound check — a 13-byte hostile
+// payload forces a multi-hundred-MB reserve — and the frame path
+// resizes from an out-param whose decode status is never tested.
+// alloc-bound must flag all three sinks.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct ByteReader
+{
+    explicit ByteReader(std::string_view buf);
+    std::uint64_t u64();
+    std::string str();
+    bool ok() const;
+    std::size_t remaining() const;
+};
+
+struct PointReply
+{
+    double server_ms = 0.0;
+};
+
+bool decodePointReply(ByteReader &r, PointReply &p);
+
+bool
+decodeStrings(ByteReader &r, std::vector<std::string> &v)
+{
+    const std::uint64_t n = r.u64();
+    v.clear();
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+        v.push_back(r.str());
+    return r.ok();
+}
+
+bool
+decodeSweepReply(std::string_view payload, std::vector<PointReply> &points)
+{
+    ByteReader r(payload);
+    points.reserve(r.u64());
+    while (r.ok() && r.remaining() > 0) {
+        PointReply p;
+        if (!decodePointReply(r, p))
+            return false;
+        points.push_back(p);
+    }
+    return r.ok();
+}
+
+struct FrameHeader
+{
+    std::uint32_t payload_len = 0;
+};
+
+enum class FrameStatus
+{
+    Ok,
+    BadLength,
+};
+
+FrameStatus decodeFrameHeader(std::string_view header, FrameHeader &out);
+
+bool
+readFramePayload(std::string_view header, std::string &payload)
+{
+    FrameHeader h;
+    (void)decodeFrameHeader(header, h);
+    payload.resize(h.payload_len);
+    return true;
+}

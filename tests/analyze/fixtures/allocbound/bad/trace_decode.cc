@@ -1,0 +1,39 @@
+// Bad fixture: the classic trace header bomb. The count is memcpy'd
+// from the file bytes and trusted as-is — a 16-byte file declaring
+// 2^60 records drives the reserve. alloc-bound must flag it.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct TraceHeader
+{
+    std::uint32_t magic = 0;
+    std::uint64_t count = 0;
+};
+
+struct MicroOp
+{
+    std::uint8_t op = 0;
+};
+
+inline constexpr std::uint32_t kTraceMagic = 0x54435254;
+
+bool
+decodeTrace(std::string_view data, std::vector<MicroOp> &ops,
+            std::string &error)
+{
+    if (data.size() < sizeof(TraceHeader)) {
+        error = "shorter than a trace header";
+        return false;
+    }
+    TraceHeader hdr{};
+    std::memcpy(&hdr, data.data(), sizeof(hdr));
+    if (hdr.magic != kTraceMagic) {
+        error = "bad magic";
+        return false;
+    }
+    ops.reserve(hdr.count);
+    return true;
+}

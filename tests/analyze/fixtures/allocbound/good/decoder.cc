@@ -1,0 +1,84 @@
+// Good fixture: the PR-4 decoder fixes from src/serve/protocol.cc.
+// Every ByteReader-sourced count passes a dominating guard before it
+// reaches reserve(): the byte-length cross-check (remaining()/8 and
+// remaining()/kMinPointReplyBytes) and, for the frame path, the status
+// test of the decodeFrameHeader out-param. alloc-bound must stay
+// silent here.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct ByteReader
+{
+    explicit ByteReader(std::string_view buf);
+    std::uint64_t u64();
+    std::string str();
+    bool ok() const;
+    std::size_t remaining() const;
+};
+
+inline constexpr std::size_t kMinPointReplyBytes = 19;
+
+struct PointReply
+{
+    double server_ms = 0.0;
+};
+
+bool decodePointReply(ByteReader &r, PointReply &p);
+
+bool
+decodeStrings(ByteReader &r, std::vector<std::string> &v)
+{
+    const std::uint64_t n = r.u64();
+    // Every encoded string occupies at least its 8-byte length prefix,
+    // so a count beyond remaining()/8 is provably corrupt.
+    if (!r.ok() || n > r.remaining() / 8)
+        return false;
+    v.clear();
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+        v.push_back(r.str());
+    return r.ok();
+}
+
+bool
+decodeSweepReply(std::string_view payload, std::vector<PointReply> &points)
+{
+    ByteReader r(payload);
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > r.remaining() / kMinPointReplyBytes)
+        return false;
+    points.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PointReply p;
+        if (!decodePointReply(r, p))
+            return false;
+        points.push_back(p);
+    }
+    return r.ok();
+}
+
+struct FrameHeader
+{
+    std::uint32_t payload_len = 0;
+};
+
+enum class FrameStatus
+{
+    Ok,
+    BadLength,
+};
+
+FrameStatus decodeFrameHeader(std::string_view header, FrameHeader &out);
+
+bool
+readFramePayload(std::string_view header, std::string &payload)
+{
+    FrameHeader h;
+    const FrameStatus fs = decodeFrameHeader(header, h);
+    if (fs != FrameStatus::Ok)
+        return false;
+    payload.resize(h.payload_len);
+    return true;
+}

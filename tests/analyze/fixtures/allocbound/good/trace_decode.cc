@@ -1,0 +1,51 @@
+// Good fixture: the PR-4 trace-decoder shape from src/workload/trace.cc.
+// The header count is memcpy'd straight out of the file bytes (tainted),
+// but the byte-length cross-check against sizeof(TraceRecord) dominates
+// the reserve, so alloc-bound must stay silent.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct TraceHeader
+{
+    std::uint32_t magic = 0;
+    std::uint64_t count = 0;
+};
+
+struct TraceRecord
+{
+    std::uint8_t op = 0;
+};
+
+struct MicroOp
+{
+    std::uint8_t op = 0;
+};
+
+inline constexpr std::uint32_t kTraceMagic = 0x54435254;
+
+bool
+decodeTrace(std::string_view data, std::vector<MicroOp> &ops,
+            std::string &error)
+{
+    if (data.size() < sizeof(TraceHeader)) {
+        error = "shorter than a trace header";
+        return false;
+    }
+    TraceHeader hdr{};
+    std::memcpy(&hdr, data.data(), sizeof(hdr));
+    if (hdr.magic != kTraceMagic) {
+        error = "bad magic";
+        return false;
+    }
+    // The byte count is ground truth; the header count merely claims.
+    const std::size_t body = data.size() - sizeof(TraceHeader);
+    if (hdr.count != body / sizeof(TraceRecord)) {
+        error = "record count disagrees with file size";
+        return false;
+    }
+    ops.reserve(hdr.count);
+    return true;
+}

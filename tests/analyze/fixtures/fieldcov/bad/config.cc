@@ -1,0 +1,68 @@
+// Bad fixture: one field missing from the digest feed (a silent
+// sweep-cache key corruption) and one missing from the decode side of
+// a wire pair (a silent wire truncation). field-coverage must flag
+// both.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+class HashStream
+{
+  public:
+    HashStream &u64(std::uint64_t v);
+    HashStream &f64(double v);
+};
+
+struct ByteWriter
+{
+    void u64(std::uint64_t v);
+    void f64(double v);
+    std::string take();
+};
+
+struct ByteReader
+{
+    explicit ByteReader(std::string_view buf);
+    std::uint64_t u64();
+    double f64();
+    bool ok() const;
+};
+
+struct KnobConfig
+{
+    std::uint32_t num_cores = 1;
+    double coupling_resistance = 0.0;
+    std::uint64_t epoch_samples = 50;
+};
+
+void
+feed(HashStream &h, const KnobConfig &k)
+{
+    h.u64(k.num_cores).f64(k.coupling_resistance);
+}
+
+struct WireMsg
+{
+    std::uint64_t deadline_ms = 0;
+    double setpoint = 0.0;
+
+    std::string encode() const;
+    static bool decode(std::string_view payload, WireMsg &out);
+};
+
+std::string
+WireMsg::encode() const
+{
+    ByteWriter w;
+    w.u64(deadline_ms);
+    w.f64(setpoint);
+    return w.take();
+}
+
+bool
+WireMsg::decode(std::string_view payload, WireMsg &out)
+{
+    ByteReader r(payload);
+    out.deadline_ms = r.u64();
+    return r.ok();
+}

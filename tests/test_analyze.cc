@@ -13,10 +13,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +27,7 @@
 #include <unistd.h>
 
 #include "analyze/analysis.hh"
+#include "analyze/dataflow.hh"
 #include "lint/lint.hh"
 
 using namespace thermctl::analysis;
@@ -359,6 +362,305 @@ TEST(AnalyzePasses, RequiresAnnotationSeedsHeldSet)
     EXPECT_EQ(findings[0].rule, "lock-order");
 }
 
+// ------------------------------------------------------ CFG + dominators
+
+namespace
+{
+
+/** Index of the (unique) block whose statements mention `name`. */
+std::size_t
+blockMentioning(const Cfg &cfg,
+                const std::vector<thermctl::lint::Token> &toks,
+                std::string_view name)
+{
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (const CfgStmt &s : cfg.blocks[b].stmts)
+            for (std::size_t k = s.begin; k < s.end; ++k)
+                if (toks[k].text == name)
+                    return b;
+    ADD_FAILURE() << "no block mentions " << name;
+    return 0;
+}
+
+/** Build the CFG of the single function definition in `src`. */
+Cfg
+cfgOfOnlyFunction(const std::vector<thermctl::lint::Token> &toks)
+{
+    const std::vector<FuncDef> fns = indexFunctions(toks);
+    EXPECT_EQ(fns.size(), 1u);
+    if (fns.size() != 1)
+        return {};
+    return buildCfg(toks, fns[0].body_begin + 1, fns[0].body_end);
+}
+
+} // namespace
+
+TEST(DataflowCfg, IfElseBranchesDoNotDominateTheJoin)
+{
+    const auto toks = thermctl::lint::tokenize("void f(int n) {\n"
+                                               "    if (n > 0) {\n"
+                                               "        first();\n"
+                                               "    } else {\n"
+                                               "        second();\n"
+                                               "    }\n"
+                                               "    joined();\n"
+                                               "}\n");
+    const Cfg cfg = cfgOfOnlyFunction(toks);
+    EXPECT_FALSE(cfg.straight_line);
+    const auto dom = dominators(cfg);
+    const std::size_t then_b = blockMentioning(cfg, toks, "first");
+    const std::size_t else_b = blockMentioning(cfg, toks, "second");
+    const std::size_t join_b = blockMentioning(cfg, toks, "joined");
+    // The entry (which holds the condition) dominates the join; the
+    // branch arms do not — either one can be skipped.
+    EXPECT_TRUE(dom[join_b][0]);
+    EXPECT_FALSE(dom[join_b][then_b]);
+    EXPECT_FALSE(dom[join_b][else_b]);
+}
+
+TEST(DataflowCfg, NestedIfInnerArmDoesNotDominateOuterTail)
+{
+    const auto toks = thermctl::lint::tokenize("void f(int a, int b) {\n"
+                                               "    if (a) {\n"
+                                               "        if (b) {\n"
+                                               "            inner();\n"
+                                               "        }\n"
+                                               "        mid();\n"
+                                               "    }\n"
+                                               "    joined();\n"
+                                               "}\n");
+    const Cfg cfg = cfgOfOnlyFunction(toks);
+    EXPECT_FALSE(cfg.straight_line);
+    const auto dom = dominators(cfg);
+    const std::size_t inner_b = blockMentioning(cfg, toks, "inner");
+    const std::size_t mid_b = blockMentioning(cfg, toks, "mid");
+    const std::size_t join_b = blockMentioning(cfg, toks, "joined");
+    EXPECT_FALSE(dom[mid_b][inner_b]); // b may be false
+    EXPECT_FALSE(dom[join_b][mid_b]);  // a may be false
+    EXPECT_TRUE(dom[mid_b][0]);
+    EXPECT_TRUE(dom[join_b][0]);
+}
+
+TEST(DataflowCfg, EarlyReturnGuardBlockDominatesTheAllocation)
+{
+    // The PR-4 decodeStrings shape: the guard condition lives in the
+    // entry block, the early return in its own arm, and the reserve in
+    // a block every path to which crosses the guard.
+    const auto toks = thermctl::lint::tokenize(
+        "bool decodeStrings(ByteReader &r, std::vector<std::string> &v)\n"
+        "{\n"
+        "    const std::uint64_t n = r.u64();\n"
+        "    if (!r.ok() || n > r.remaining() / 8) {\n"
+        "        return fail;\n"
+        "    }\n"
+        "    v.reserve(n);\n"
+        "    return done;\n"
+        "}\n");
+    const Cfg cfg = cfgOfOnlyFunction(toks);
+    EXPECT_FALSE(cfg.straight_line);
+    const auto dom = dominators(cfg);
+    const std::size_t guard_b = blockMentioning(cfg, toks, "remaining");
+    const std::size_t ret_b = blockMentioning(cfg, toks, "fail");
+    const std::size_t alloc_b = blockMentioning(cfg, toks, "reserve");
+    EXPECT_TRUE(dom[alloc_b][guard_b]);
+    EXPECT_FALSE(dom[alloc_b][ret_b]);
+}
+
+TEST(DataflowCfg, SwitchCasesDoNotDominateTheFollowingStatement)
+{
+    const auto toks = thermctl::lint::tokenize("void f(int mode) {\n"
+                                               "    switch (mode) {\n"
+                                               "    case 0:\n"
+                                               "        caseA();\n"
+                                               "        break;\n"
+                                               "    default:\n"
+                                               "        caseB();\n"
+                                               "        break;\n"
+                                               "    }\n"
+                                               "    after();\n"
+                                               "}\n");
+    const Cfg cfg = cfgOfOnlyFunction(toks);
+    EXPECT_FALSE(cfg.straight_line);
+    const auto dom = dominators(cfg);
+    const std::size_t a_b = blockMentioning(cfg, toks, "caseA");
+    const std::size_t b_b = blockMentioning(cfg, toks, "caseB");
+    const std::size_t after_b = blockMentioning(cfg, toks, "after");
+    EXPECT_FALSE(dom[after_b][a_b]);
+    EXPECT_FALSE(dom[after_b][b_b]);
+    EXPECT_TRUE(dom[after_b][0]); // the switch head still dominates
+}
+
+TEST(DataflowCfg, MalformedBodyFallsBackToOrderedStraightLine)
+{
+    // A stray `else` is structurally inconsistent; the builder must
+    // fall back to one block of ';'-split statements, order intact.
+    const auto toks =
+        thermctl::lint::tokenize("first(); else second(); third();");
+    const Cfg cfg = buildCfg(toks, 0, toks.size());
+    EXPECT_TRUE(cfg.straight_line);
+    ASSERT_EQ(cfg.blocks.size(), 1u);
+    ASSERT_EQ(cfg.blocks[0].stmts.size(), 3u);
+    EXPECT_EQ(toks[cfg.blocks[0].stmts.front().begin].text, "first");
+    EXPECT_EQ(toks[cfg.blocks[0].stmts.back().begin].text, "third");
+}
+
+TEST(DataflowStructs, IndexesFieldsSkippingMethodsAndNestedTypes)
+{
+    const auto toks = thermctl::lint::tokenize(
+        "struct Outer {\n"
+        "    using Clock = int;\n"
+        "    static int shared;\n"
+        "    std::uint32_t count = 1'000;\n"
+        "    double rate = 0.5, scale = 2.0;\n"
+        "    std::vector<int> slots;\n"
+        "    struct Inner { int depth; };\n"
+        "    Inner inner;\n"
+        "    void tick();\n"
+        "    bool empty() const { return slots.empty(); }\n"
+        "};\n");
+    const std::vector<StructDef> structs = indexStructs(toks, "s.hh");
+    const StructDef *outer = nullptr, *inner = nullptr;
+    for (const StructDef &s : structs) {
+        if (s.name == "Outer")
+            outer = &s;
+        if (s.name == "Inner")
+            inner = &s;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    std::vector<std::string> names;
+    for (const FieldDef &f : outer->fields)
+        names.push_back(f.name);
+    EXPECT_EQ(names, (std::vector<std::string>{"count", "rate", "scale",
+                                               "slots", "inner"}));
+    ASSERT_EQ(inner->fields.size(), 1u);
+    EXPECT_EQ(inner->fields[0].name, "depth");
+}
+
+// ------------------------------------------------------------ alloc-bound
+
+TEST(AnalyzePasses, AllocBoundFlagsUnguardedDecoders)
+{
+    const ProjectModel model = ProjectModel::build(loadFixtures(
+        {"allocbound/bad/decoder.cc", "allocbound/bad/trace_decode.cc"}));
+    const std::vector<Finding> findings = checkAllocBound(model);
+    ASSERT_EQ(findings.size(), 4u);
+    std::set<std::pair<std::string, int>> where;
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "alloc-bound");
+        where.insert({f.file, f.line});
+    }
+    // The unguarded count-prefix reserve, the direct reader-read
+    // reserve, the untested decode out-param resize, and the trusted
+    // trace-header reserve.
+    EXPECT_EQ(where.count({"allocbound/bad/decoder.cc", 32}), 1u);
+    EXPECT_EQ(where.count({"allocbound/bad/decoder.cc", 42}), 1u);
+    EXPECT_EQ(where.count({"allocbound/bad/decoder.cc", 70}), 1u);
+    EXPECT_EQ(where.count({"allocbound/bad/trace_decode.cc", 37}), 1u);
+}
+
+TEST(AnalyzePasses, FixedDecoderShapesParseAsGuarded)
+{
+    // Regression for the PR-4 decoder fixes: the guarded shapes from
+    // protocol.cc and trace.cc, mirrored byte for byte in the good
+    // fixtures, must be recognized as guarded rather than re-flagged.
+    const ProjectModel model = ProjectModel::build(
+        loadFixtures({"allocbound/good/decoder.cc",
+                      "allocbound/good/trace_decode.cc"}));
+    EXPECT_TRUE(checkAllocBound(model).empty());
+}
+
+// --------------------------------------------------------- field-coverage
+
+TEST(AnalyzePasses, FieldCoverageFlagsMissingDigestAndDecodeFields)
+{
+    const ProjectModel model =
+        ProjectModel::build(loadFixtures({"fieldcov/bad/config.cc"}));
+    const std::vector<Finding> findings = checkFieldCoverage(model, {});
+    ASSERT_EQ(findings.size(), 2u);
+    bool saw_digest = false, saw_decode = false;
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "field-coverage");
+        if (f.message.find("KnobConfig::epoch_samples")
+                != std::string::npos
+            && f.message.find("fed to the digest") != std::string::npos)
+            saw_digest = true;
+        if (f.message.find("WireMsg::setpoint") != std::string::npos
+            && f.message.find("decoded") != std::string::npos)
+            saw_decode = true;
+    }
+    EXPECT_TRUE(saw_digest);
+    EXPECT_TRUE(saw_decode);
+}
+
+TEST(AnalyzePasses, FieldCoverageCompleteConfigIsClean)
+{
+    const ProjectModel model =
+        ProjectModel::build(loadFixtures({"fieldcov/good/config.cc"}));
+    EXPECT_TRUE(checkFieldCoverage(model, {}).empty());
+}
+
+TEST(AnalyzePasses, FieldCoverageAllowedFieldsSuppressFindings)
+{
+    const ProjectModel model =
+        ProjectModel::build(loadFixtures({"fieldcov/bad/config.cc"}));
+    EXPECT_TRUE(checkFieldCoverage(model, {"KnobConfig::epoch_samples",
+                                           "WireMsg::setpoint"})
+                    .empty());
+}
+
+// ----------------------------------------------- real-source regressions
+
+namespace
+{
+
+std::string
+repoSource(const std::string &rel)
+{
+    return readFileOrDie(fs::path(THERMCTL_SOURCE_DIR) / rel);
+}
+
+} // namespace
+
+TEST(DataflowRegression, RealDecodersAreGuarded)
+{
+    // The live PR-4 fixes themselves — not just their fixture mirrors —
+    // must parse as guarded.
+    const ProjectModel model = ProjectModel::build(
+        {{"src/serve/protocol.hh", repoSource("src/serve/protocol.hh")},
+         {"src/serve/protocol.cc", repoSource("src/serve/protocol.cc")},
+         {"src/workload/trace.cc", repoSource("src/workload/trace.cc")}});
+    EXPECT_TRUE(checkAllocBound(model).empty());
+}
+
+TEST(DataflowRegression, DroppingADigestFeedLineFailsFieldCoverage)
+{
+    // The acceptance probe for the sweep-cache contract: remove one
+    // field feed from the real feed(HashStream&, const MulticoreConfig&)
+    // and field-coverage must fail — demonstrated on an in-memory copy,
+    // never by breaking the tree.
+    const std::string config = repoSource("src/sim/config.hh");
+    std::string sweep = repoSource("src/sim/sweep.cc");
+
+    const ProjectModel clean = ProjectModel::build(
+        {{"src/sim/config.hh", config}, {"src/sim/sweep.cc", sweep}});
+    EXPECT_TRUE(checkFieldCoverage(clean, {}).empty());
+
+    const std::string feed_line = "h.u64(m.budget_epoch_samples);";
+    const std::size_t at = sweep.find(feed_line);
+    ASSERT_NE(at, std::string::npos);
+    sweep.erase(at, feed_line.size());
+
+    const ProjectModel broken = ProjectModel::build(
+        {{"src/sim/config.hh", config}, {"src/sim/sweep.cc", sweep}});
+    const std::vector<Finding> findings = checkFieldCoverage(broken, {});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "field-coverage");
+    EXPECT_NE(findings[0].message.find(
+                  "MulticoreConfig::budget_epoch_samples"),
+              std::string::npos);
+}
+
 // ------------------------------------------------------------ aggregate
 
 TEST(AnalyzeProject, CleanTreeHasNoFindings)
@@ -381,7 +683,11 @@ TEST(AnalyzeProject, CleanTreeHasNoFindings)
 TEST(AnalyzeProject, RuleIdsAreStable)
 {
     const std::vector<std::string> ids = analysisRuleIds();
-    ASSERT_EQ(ids.size(), 4u);
+    ASSERT_EQ(ids.size(), 6u);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "alloc-bound"),
+              ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "field-coverage"),
+              ids.end());
     EXPECT_NE(std::find(ids.begin(), ids.end(), "layering"), ids.end());
     EXPECT_NE(std::find(ids.begin(), ids.end(), "include-cycle"),
               ids.end());
@@ -449,6 +755,67 @@ TEST(AnalyzeCli, ExitCodesAndCiStaleHardFailure)
     writeText(tmp.path / "badallow", "no-such-rule x.cc\n");
     EXPECT_EQ(runCommand(bin + " --allowlist "
                          + (tmp.path / "badallow").string() + " " + good
+                         + " >/dev/null 2>&1"),
+              2);
+}
+
+TEST(AnalyzeCli, PassFilterRunsOnlySelectedPasses)
+{
+    TempDir tmp;
+    writeText(tmp.path / "layers", "");
+    const std::string bin = std::string(THERMCTL_ANALYZE_BIN)
+                            + " --layers "
+                            + (tmp.path / "layers").string();
+    const std::string fieldbad =
+        fixtureRoot() + std::string("/fieldcov/bad");
+    const std::string allocbad =
+        fixtureRoot() + std::string("/allocbound/bad");
+
+    // Each bad tree only trips its own pass: the mismatched filter is
+    // clean, the matching one fails.
+    EXPECT_EQ(runCommand(bin + " --pass alloc-bound " + fieldbad
+                         + " >/dev/null 2>&1"),
+              0);
+    EXPECT_EQ(runCommand(bin + " --pass field-coverage " + fieldbad
+                         + " >/dev/null 2>&1"),
+              1);
+    EXPECT_EQ(runCommand(bin + " --pass field-coverage " + allocbad
+                         + " >/dev/null 2>&1"),
+              0);
+    EXPECT_EQ(runCommand(bin + " --pass alloc-bound " + allocbad
+                         + " >/dev/null 2>&1"),
+              1);
+
+    // Unknown pass names are usage errors, not silent no-ops.
+    EXPECT_EQ(runCommand(bin + " --pass no-such-pass " + fieldbad
+                         + " >/dev/null 2>&1"),
+              2);
+}
+
+TEST(AnalyzeCli, AllowFieldSuppressesNamedFields)
+{
+    TempDir tmp;
+    writeText(tmp.path / "layers", "");
+    const std::string bin = std::string(THERMCTL_ANALYZE_BIN)
+                            + " --layers "
+                            + (tmp.path / "layers").string();
+    const std::string fieldbad =
+        fixtureRoot() + std::string("/fieldcov/bad");
+
+    EXPECT_EQ(runCommand(bin
+                         + " --pass field-coverage"
+                           " --allow-field KnobConfig::epoch_samples"
+                           " --allow-field WireMsg::setpoint "
+                         + fieldbad + " >/dev/null 2>&1"),
+              0);
+    // Excluding only one of the two leaves the other finding live.
+    EXPECT_EQ(runCommand(bin
+                         + " --pass field-coverage"
+                           " --allow-field KnobConfig::epoch_samples "
+                         + fieldbad + " >/dev/null 2>&1"),
+              1);
+    // An exclusion without the Struct:: qualifier is a usage error.
+    EXPECT_EQ(runCommand(bin + " --allow-field epoch_samples " + fieldbad
                          + " >/dev/null 2>&1"),
               2);
 }

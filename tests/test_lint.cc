@@ -81,6 +81,55 @@ TEST(LintTokenizer, HandlesRawStrings)
     EXPECT_TRUE(saw_plus); // lexing resumed correctly after the raw string
 }
 
+TEST(LintTokenizer, HandlesEncodingPrefixedRawStrings)
+{
+    // u8R/uR/UR/LR prefixes must take the raw-string branch; treating
+    // the '"' after the prefix as an ordinary string opener desyncs the
+    // lexer on the embedded quote and swallows the rest of the file.
+    const auto toks =
+        tokenize("auto a = u8R\"(std::mutex \" half)\"; int after_u8;\n"
+                 "auto b = LR\"delim(std::mutex \")delim\"; int after_L;\n");
+    bool saw_u8 = false, saw_l = false;
+    for (const Token &t : toks) {
+        EXPECT_NE(t.text, "mutex");
+        if (t.text == "after_u8")
+            saw_u8 = true;
+        if (t.text == "after_L")
+            saw_l = true;
+    }
+    EXPECT_TRUE(saw_u8);
+    EXPECT_TRUE(saw_l);
+}
+
+TEST(LintTokenizer, DigitSeparatorsStayInsideOneNumber)
+{
+    // 1'000'000 is one numeric literal; lexing the ' as a char-literal
+    // opener would eat "000'" and desync everything after it.
+    const auto toks = tokenize("int n = 1'000'000; int m = 0xFF'FFu;");
+    std::size_t numbers = 0;
+    for (const Token &t : toks)
+        if (t.kind == Token::Kind::Number) {
+            ++numbers;
+            EXPECT_TRUE(t.text == "1'000'000" || t.text == "0xFF'FFu")
+                << t.text;
+        }
+    EXPECT_EQ(numbers, 2u);
+    EXPECT_EQ(toks.back().text, ";");
+}
+
+TEST(LintTokenizer, CharLiteralsStillCollapseAfterNumbers)
+{
+    // The digit-separator rule must not capture a real char literal
+    // that merely follows a number.
+    const auto toks = tokenize("f(7, 'x'); g('0');");
+    std::size_t chars = 0;
+    for (const Token &t : toks)
+        if (t.kind == Token::Kind::Char)
+            ++chars;
+    EXPECT_EQ(chars, 2u);
+    EXPECT_EQ(toks.back().text, ";");
+}
+
 TEST(LintTokenizer, KeepsScopeResolutionWhole)
 {
     const auto toks = tokenize("std::mutex m; a ? b : c;");

@@ -54,7 +54,7 @@ smallGrid()
 }
 
 std::vector<std::string>
-serializeAll(const SweepResults &res)
+resultBytes(const SweepResults &res)
 {
     std::vector<std::string> bytes;
     for (const auto &oc : res.outcomes())
@@ -266,8 +266,8 @@ TEST(SweepEngine, ParallelResultsBitIdenticalToSerial)
     EXPECT_EQ(r1.simulated(), 9u);
     EXPECT_EQ(r8.simulated(), 9u);
 
-    const auto b1 = serializeAll(r1);
-    const auto b8 = serializeAll(r8);
+    const auto b1 = resultBytes(r1);
+    const auto b8 = resultBytes(r8);
     for (std::size_t i = 0; i < b1.size(); ++i) {
         EXPECT_EQ(b1[i], b8[i]) << "point " << r1.outcomes()[i].point.key;
         EXPECT_EQ(r1.outcomes()[i].point.key, r8.outcomes()[i].point.key);
@@ -292,7 +292,7 @@ TEST(SweepEngine, WarmCacheServesBitIdenticalResults)
     EXPECT_EQ(warm.simulated(), 0u); // nothing re-simulated
     EXPECT_EQ(warm.cacheHits(), 9u);
 
-    EXPECT_EQ(serializeAll(cold), serializeAll(warm));
+    EXPECT_EQ(resultBytes(cold), resultBytes(warm));
 }
 
 TEST(SweepEngine, CacheInvalidatesWhenAConfigFieldChanges)
@@ -351,7 +351,7 @@ TEST(SweepEngine, CorruptCacheEntriesDegradeToMisses)
     const SweepResults second = engine.run(spec);
     EXPECT_EQ(second.simulated(), 1u);
     EXPECT_EQ(second.cacheHits(), 0u);
-    EXPECT_EQ(serializeAll(first), serializeAll(second));
+    EXPECT_EQ(resultBytes(first), resultBytes(second));
 }
 
 TEST(SweepEngine, CorruptEntriesQuarantineAndSelfHeal)

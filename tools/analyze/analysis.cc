@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "analyze/dataflow.hh"
+
 namespace thermctl::analysis
 {
 
@@ -493,6 +495,7 @@ ProjectModel::build(
         SourceFile f;
         f.path = normalizePath(path);
         f.includes = lint::scanIncludes(content);
+        f.tokens = lint::tokenize(content);
         by_path.emplace(f.path, model.files_.size());
         model.files_.push_back(std::move(f));
     }
@@ -520,12 +523,9 @@ ProjectModel::build(
         }
     }
 
-    for (const auto &[path, content] : files) {
-        const std::vector<Token> toks = lint::tokenize(content);
-        scanFileSymbols(normalizePath(path), toks, model.functions_,
-                        model.calls_, model.lock_edges_,
-                        model.nodiscard_names_);
-    }
+    for (const SourceFile &f : model.files_)
+        scanFileSymbols(f.path, f.tokens, model.functions_, model.calls_,
+                        model.lock_edges_, model.nodiscard_names_);
     return model;
 }
 
@@ -660,6 +660,8 @@ analysisRuleIds()
         "include-cycle",
         "unchecked-return",
         "lock-order",
+        "alloc-bound",
+        "field-coverage",
     };
     return ids;
 }
@@ -859,13 +861,41 @@ std::vector<Finding>
 analyzeProject(const ProjectModel &model, const LayerSpec &spec,
                const MustCheckSet &must)
 {
-    std::vector<Finding> findings = checkLayering(model, spec);
-    for (Finding &f : checkIncludeCycles(model))
-        findings.push_back(std::move(f));
-    for (Finding &f : checkUncheckedReturns(model, must))
-        findings.push_back(std::move(f));
-    for (Finding &f : checkLockOrder(model))
-        findings.push_back(std::move(f));
+    return analyzeProject(model, spec, must, AnalyzeOptions{});
+}
+
+bool
+AnalyzeOptions::wants(std::string_view id) const
+{
+    if (passes.empty())
+        return true;
+    for (const std::string &p : passes)
+        if (p == id)
+            return true;
+    return false;
+}
+
+std::vector<Finding>
+analyzeProject(const ProjectModel &model, const LayerSpec &spec,
+               const MustCheckSet &must, const AnalyzeOptions &opts)
+{
+    std::vector<Finding> findings;
+    auto take = [&](std::vector<Finding> &&more) {
+        for (Finding &f : more)
+            findings.push_back(std::move(f));
+    };
+    if (opts.wants("layering"))
+        take(checkLayering(model, spec));
+    if (opts.wants("include-cycle"))
+        take(checkIncludeCycles(model));
+    if (opts.wants("unchecked-return"))
+        take(checkUncheckedReturns(model, must));
+    if (opts.wants("lock-order"))
+        take(checkLockOrder(model));
+    if (opts.wants("alloc-bound"))
+        take(checkAllocBound(model));
+    if (opts.wants("field-coverage"))
+        take(checkFieldCoverage(model, opts.allowed_fields));
     std::stable_sort(findings.begin(), findings.end(),
                      [](const Finding &a, const Finding &b) {
                          if (a.file != b.file)

@@ -72,6 +72,14 @@ struct SourceFile
     std::vector<lint::Include> includes;
 
     /**
+     * The file's token stream (comments stripped, strings collapsed).
+     * Tokenized once at build time and shared by every pass; the
+     * dataflow passes (dataflow.hh) index function bodies and struct
+     * fields directly out of this stream.
+     */
+    std::vector<lint::Token> tokens;
+
+    /**
      * Resolved project-internal include edges: for includes[k] that
      * named another modeled file, `edges` holds that file's model
      * index and `edge_include` the position k it came from. External
@@ -247,10 +255,42 @@ checkUncheckedReturns(const ProjectModel &model, const MustCheckSet &must);
 /** Lock-order pass: report cycles in the lock-acquisition graph. */
 std::vector<lint::Finding> checkLockOrder(const ProjectModel &model);
 
+/**
+ * Pass selection and per-pass options for analyzeProject. The two
+ * dataflow passes (alloc-bound, field-coverage) live in dataflow.hh;
+ * they are declared there and dispatched here so the CLI sees one
+ * entry point.
+ */
+struct AnalyzeOptions
+{
+    /**
+     * Rule ids to run (`--pass` on the CLI); empty means every pass.
+     * Unknown names are the caller's responsibility to reject (the CLI
+     * validates against analysisRuleIds()).
+     */
+    std::vector<std::string> passes;
+
+    /**
+     * Field-coverage exclusions, as "Struct::field" strings
+     * (`--allow-field` on the CLI): deliberately-uncovered fields that
+     * must not be reported.
+     */
+    std::set<std::string> allowed_fields;
+
+    /** @return true when pass `id` should run. */
+    bool wants(std::string_view id) const;
+};
+
 /** All passes in order; layering skipped when `spec` is empty. */
 std::vector<lint::Finding> analyzeProject(const ProjectModel &model,
                                           const LayerSpec &spec,
                                           const MustCheckSet &must);
+
+/** As above, honouring `opts` (pass filter + field exclusions). */
+std::vector<lint::Finding> analyzeProject(const ProjectModel &model,
+                                          const LayerSpec &spec,
+                                          const MustCheckSet &must,
+                                          const AnalyzeOptions &opts);
 
 } // namespace thermctl::analysis
 

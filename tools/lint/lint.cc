@@ -92,8 +92,22 @@ tokenize(std::string_view src)
             continue;
         }
 
-        // Raw string literal: R"delim( ... )delim".
-        if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+        // Raw string literal: R"delim( ... )delim", with an optional
+        // encoding prefix (u8R, uR, UR, LR). The prefix must be
+        // consumed here: lexing it as an identifier would leave the
+        // raw body to the escape-aware scanner, which desynchronizes
+        // on any embedded quote.
+        std::size_t raw_r = std::string_view::npos;
+        if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"')
+            raw_r = i;
+        else if ((c == 'u' || c == 'U' || c == 'L') && i + 2 < src.size()
+                 && src[i + 1] == 'R' && src[i + 2] == '"')
+            raw_r = i + 1;
+        else if (c == 'u' && i + 3 < src.size() && src[i + 1] == '8'
+                 && src[i + 2] == 'R' && src[i + 3] == '"')
+            raw_r = i + 2;
+        if (raw_r != std::string_view::npos) {
+            advance(raw_r - i); // skip the encoding prefix, if any
             int start_line = line;
             std::size_t d = i + 2;
             while (d < src.size() && src[d] != '(' && src[d] != '"'
@@ -159,6 +173,8 @@ tokenize(std::string_view src)
             std::size_t start = i;
             while (i < src.size()
                    && (isIdentChar(src[i]) || src[i] == '.'
+                       || (src[i] == '\'' && i + 1 < src.size()
+                           && isIdentChar(src[i + 1]))
                        || ((src[i] == '+' || src[i] == '-') && i > start
                            && (src[i - 1] == 'e' || src[i - 1] == 'E'
                                || src[i - 1] == 'p' || src[i - 1] == 'P'))))

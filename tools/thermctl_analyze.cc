@@ -6,7 +6,8 @@
  * Usage:
  *   thermctl_analyze [--layers FILE] [--allowlist FILE]
  *                    [--must-check NAME[*]]... [--root PREFIX]...
- *                    [--exclude SUBSTR]... [--json] [--ci]
+ *                    [--exclude SUBSTR]... [--pass RULE]...
+ *                    [--allow-field Struct::field]... [--json] [--ci]
  *                    [--list-rules] PATH...
  *
  * Unlike thermctl_lint, one invocation builds a single project model
@@ -20,7 +21,10 @@
  * that file exists; without a layers spec the layering pass is skipped
  * (cycle detection still runs). --must-check entries extend the
  * built-in seed set; a trailing '*' makes an entry a prefix. --root
- * replaces the default include-resolution roots (src, tools). Exit
+ * replaces the default include-resolution roots (src, tools). --pass
+ * (repeatable, validated against --list-rules) restricts the run to
+ * named passes so single-pass runs are scriptable; --allow-field
+ * excludes one "Struct::field" from the field-coverage pass. Exit
  * status: 0 clean, 1 findings (or, under --ci, stale allowlist
  * entries), 2 usage or I/O error.
  */
@@ -70,12 +74,17 @@ usage(std::ostream &os)
     os << "usage: thermctl_analyze [--layers FILE] [--allowlist FILE]\n"
           "                        [--must-check NAME[*]]... [--root "
           "PREFIX]...\n"
-          "                        [--exclude SUBSTR]... [--json] [--ci]\n"
-          "                        [--list-rules] PATH...\n"
+          "                        [--exclude SUBSTR]... [--pass RULE]...\n"
+          "                        [--allow-field Struct::field]...\n"
+          "                        [--json] [--ci] [--list-rules] PATH...\n"
           "Whole-project static analysis: include-graph layering + "
-          "cycles,\nunchecked must-check/[[nodiscard]] returns, and "
-          "static lock-order\nauditing. Run it over the whole tree in "
-          "one invocation.\n"
+          "cycles,\nunchecked must-check/[[nodiscard]] returns, static "
+          "lock-order\nauditing, tainted-allocation bounds "
+          "(alloc-bound), and struct\nfield-coverage of "
+          "digest/encode/decode bodies (field-coverage).\nRun it over "
+          "the whole tree in one invocation.\n"
+          "--pass: run only the named passes (see --list-rules).\n"
+          "--allow-field: exclude Struct::field from field-coverage.\n"
           "--ci: stale allowlist entries fail the run (exit 1).\n"
           "Exit: 0 clean, 1 findings, 2 usage/I-O error.\n";
 }
@@ -94,6 +103,7 @@ main(int argc, char **argv)
     bool ci = false;
     MustCheckSet must = MustCheckSet::defaults();
     BuildOptions build_opts;
+    AnalyzeOptions analyze_opts;
     bool roots_overridden = false;
 
     auto needsValue = [&](int &i, const std::string &arg) -> const char * {
@@ -144,6 +154,28 @@ main(int argc, char **argv)
             if (!v)
                 return 2;
             excludes.emplace_back(v);
+        } else if (arg == "--pass") {
+            const char *v = needsValue(i, arg);
+            if (!v)
+                return 2;
+            const std::vector<std::string> &ids = analysisRuleIds();
+            if (std::find(ids.begin(), ids.end(), v) == ids.end()) {
+                std::cerr << "thermctl_analyze: unknown pass '" << v
+                          << "' (see --list-rules)\n";
+                return 2;
+            }
+            analyze_opts.passes.emplace_back(v);
+        } else if (arg == "--allow-field") {
+            const char *v = needsValue(i, arg);
+            if (!v)
+                return 2;
+            if (std::string(v).find("::") == std::string::npos) {
+                std::cerr << "thermctl_analyze: --allow-field wants "
+                             "'Struct::field', got '"
+                          << v << "'\n";
+                return 2;
+            }
+            analyze_opts.allowed_fields.emplace(v);
         } else if (arg == "-h" || arg == "--help") {
             usage(std::cout);
             return 0;
@@ -238,7 +270,7 @@ main(int argc, char **argv)
 
     const ProjectModel model = ProjectModel::build(sources, build_opts);
     std::vector<Finding> findings;
-    for (Finding &f : analyzeProject(model, layers, must)) {
+    for (Finding &f : analyzeProject(model, layers, must, analyze_opts)) {
         if (!allow.allows(f))
             findings.push_back(std::move(f));
     }
