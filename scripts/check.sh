@@ -41,6 +41,14 @@
 #                  retrying clients under a seeded fault plan; every
 #                  request must end in a bit-correct reply or a typed
 #                  error, never a hang; the seed is echoed on failure
+#   cluster-smoke  distributed sweep smoke (ASan+UBSan build): a
+#                  coordinator shards a grid across three worker
+#                  daemons, one is SIGKILLed mid-sweep, and the merged
+#                  output must be bit-identical to looped direct
+#                  thermctl_run executions with zero missing points;
+#                  survivors must drain cleanly on SIGTERM; then a
+#                  fresh-seed chaos_soak --cluster run (kill + stall +
+#                  respawn under a seeded supervisor)
 #   tsan           TSan build + parallel bench smoke: the sweep engine's
 #                  worker pool and warm-cache read path under
 #                  -fsanitize=thread with THERMCTL_FAST=1
@@ -66,7 +74,7 @@ cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 base="build-check"
 
-all_stages="format plain lint analyze thread-safety asan serve multicore loadgen-smoke chaos-smoke tsan fuzz-replay tidy"
+all_stages="format plain lint analyze thread-safety asan serve multicore loadgen-smoke chaos-smoke cluster-smoke tsan fuzz-replay tidy"
 selected="all"
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -334,6 +342,95 @@ if want chaos-smoke; then
              "--seed=${chaos_seed} --clients=3 --requests=8" >&2
         exit 1
     fi
+fi
+
+if want cluster-smoke; then
+    stage "cluster smoke (coordinator + 3 workers, one SIGKILLed mid-sweep)"
+    cmake -B "${base}/asan" -S . \
+        -DTHERMCTL_INVARIANTS=ON \
+        "-DTHERMCTL_SANITIZE=address;undefined" >/dev/null
+    cmake --build "${base}/asan" -j "${jobs}" \
+        --target thermctl_serve_bin thermctl_coord thermctl_run chaos_soak
+    cl_dir="$(mktemp -d)"
+    cl_pids=""
+    trap 'for p in ${cl_pids}; do kill -9 "${p}" 2>/dev/null || true; done; rm -rf "${cl_dir}"' EXIT
+
+    for i in 1 2 3; do
+        THERMCTL_FAST=1 "${base}/asan/tools/thermctl_serve" \
+            --socket "${cl_dir}/w${i}.sock" --no-cache \
+            --jobs 2 2>"${cl_dir}/w${i}.log" &
+        eval "w${i}_pid=\$!"
+        cl_pids="${cl_pids} $!"
+    done
+    for i in 1 2 3; do
+        for _ in $(seq 100); do
+            [ -S "${cl_dir}/w${i}.sock" ] && break
+            sleep 0.1
+        done
+        [ -S "${cl_dir}/w${i}.sock" ] || { cat "${cl_dir}/w${i}.log"; exit 1; }
+    done
+
+    # Reference: looped direct single-point runs in grid order
+    # (benchmarks outer, policies inner), blocks joined by blank lines —
+    # exactly the layout thermctl_coord prints.
+    : > "${cl_dir}/direct.out"
+    cl_first=1
+    for b in 186.crafty 179.art; do
+        for p in none PI PID; do
+            [ "${cl_first}" = 1 ] || printf '\n' >>"${cl_dir}/direct.out"
+            cl_first=0
+            "${base}/asan/tools/thermctl_run" --bench "$b" --policy "$p" \
+                --warmup 2000 --cycles 50000 --no-cache \
+                >>"${cl_dir}/direct.out"
+        done
+    done
+
+    # Shard the same grid across the three workers and SIGKILL one
+    # mid-sweep: the coordinator must reassign its points and still
+    # finish complete (--require-complete turns silent loss fatal).
+    "${base}/asan/tools/thermctl_coord" \
+        --connect "${cl_dir}/w1.sock" --connect "${cl_dir}/w2.sock" \
+        --connect "${cl_dir}/w3.sock" \
+        --bench 186.crafty,179.art --policy none,PI,PID \
+        --warmup 2000 --cycles 50000 --require-complete \
+        --workers-report >"${cl_dir}/coord.out" 2>"${cl_dir}/coord.log" &
+    coord_pid=$!
+    sleep 0.3
+    kill -9 "${w2_pid}"
+    if ! wait "${coord_pid}"; then
+        echo "cluster smoke: coordinator did not complete the sweep" >&2
+        cat "${cl_dir}/coord.log" >&2
+        exit 1
+    fi
+    cmp "${cl_dir}/coord.out" "${cl_dir}/direct.out"
+    cat "${cl_dir}/coord.log"
+
+    # Surviving workers must drain cleanly on SIGTERM.
+    for i in 1 3; do
+        eval "wp=\${w${i}_pid}"
+        kill -TERM "${wp}"
+        if ! wait "${wp}"; then
+            echo "cluster smoke: worker ${i} did not drain cleanly" >&2
+            cat "${cl_dir}/w${i}.log" >&2
+            exit 1
+        fi
+    done
+    wait "${w2_pid}" 2>/dev/null || true
+    cl_pids=""
+
+    # Replayable randomized cluster soak: seeded supervisor SIGKILLs a
+    # worker mid-sweep and respawns it while another stalls; the merged
+    # report must be complete and bit-identical.
+    cl_seed="$(date +%s)"
+    if ! "${base}/asan/tests/chaos/chaos_soak" --cluster \
+            "--seed=${cl_seed}" --max-wall=300; then
+        echo "cluster-smoke soak failed; replay with:" >&2
+        echo "  ${base}/asan/tests/chaos/chaos_soak --cluster" \
+             "--seed=${cl_seed}" >&2
+        exit 1
+    fi
+    rm -rf "${cl_dir}"
+    trap - EXIT
 fi
 
 if want tsan; then

@@ -1,19 +1,89 @@
 #include "serve/client.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.hh"
 
 namespace thermctl::serve
 {
+
+namespace
+{
+
+/**
+ * Non-blocking connect bounded by `timeout_ms`; on success the socket
+ * is back in blocking mode. A Unix listener with a full backlog makes
+ * ::connect fail with EAGAIN straight away — that is reported as a
+ * failure, not waited out, so a wedged worker costs bounded time.
+ */
+bool
+connectBounded(int fd, const sockaddr *addr, socklen_t len,
+               unsigned timeout_ms, std::string &error)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        error = std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, addr, len) != 0) {
+        if (errno != EINPROGRESS) {
+            error = std::string("connect: ") + std::strerror(errno);
+            return false;
+        }
+        const auto deadline = std::chrono::steady_clock::now()
+                              + std::chrono::milliseconds(timeout_ms);
+        for (;;) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (left.count() <= 0) {
+                error = "connect timed out after "
+                        + std::to_string(timeout_ms) + " ms";
+                return false;
+            }
+            pollfd p{};
+            p.fd = fd;
+            p.events = POLLOUT;
+            const int rc = ::poll(&p, 1, int(left.count()));
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                error = std::string("poll: ") + std::strerror(errno);
+                return false;
+            }
+            if (rc > 0)
+                break;
+        }
+        int so_error = 0;
+        socklen_t so_len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len)
+                != 0
+            || so_error != 0) {
+            error = std::string("connect: ")
+                    + std::strerror(so_error ? so_error : errno);
+            return false;
+        }
+    }
+    if (::fcntl(fd, F_SETFL, flags) < 0) {
+        error = std::string("fcntl(restore): ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
 
 ServeClient
 ServeClient::connectUnix(const std::string &path)
@@ -102,6 +172,76 @@ ServeClient::tryConnect(const std::string &endpoint, std::string &error)
     }
 }
 
+ServeClient
+ServeClient::tryConnect(const std::string &endpoint, unsigned timeout_ms,
+                        std::string &error)
+{
+    if (endpoint.rfind("tcp:", 0) == 0) {
+        const std::string rest = endpoint.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos) {
+            error = "tcp endpoint needs HOST:PORT: '" + endpoint + "'";
+            return ServeClient();
+        }
+        const std::string host = rest.substr(0, colon);
+        int port = 0;
+        try {
+            port = std::stoi(rest.substr(colon + 1));
+        } catch (const std::exception &) {
+            error = "bad tcp port in '" + endpoint + "'";
+            return ServeClient();
+        }
+        addrinfo hints{};
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *res = nullptr;
+        if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                          &hints, &res)
+                != 0
+            || !res) {
+            error = "cannot resolve " + host + ":" + std::to_string(port);
+            return ServeClient();
+        }
+        const int fd = ::socket(res->ai_family, res->ai_socktype,
+                                res->ai_protocol);
+        if (fd < 0) {
+            ::freeaddrinfo(res);
+            error = std::string("socket: ") + std::strerror(errno);
+            return ServeClient();
+        }
+        const bool ok = connectBounded(fd, res->ai_addr, res->ai_addrlen,
+                                       timeout_ms, error);
+        ::freeaddrinfo(res);
+        if (!ok) {
+            ::close(fd);
+            return ServeClient();
+        }
+        return ServeClient(fd);
+    }
+
+    const std::string path = endpoint.rfind("unix:", 0) == 0
+                                 ? endpoint.substr(5)
+                                 : endpoint;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + path;
+        return ServeClient();
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return ServeClient();
+    }
+    if (!connectBounded(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr), timeout_ms, error)) {
+        ::close(fd);
+        return ServeClient();
+    }
+    return ServeClient(fd);
+}
+
 ServeClient::~ServeClient()
 {
     if (fd_ >= 0)
@@ -117,6 +257,17 @@ ServeClient::operator=(ServeClient &&other) noexcept
         fd_ = std::exchange(other.fd_, -1);
     }
     return *this;
+}
+
+void
+ServeClient::setRecvTimeout(unsigned ms)
+{
+    if (fd_ < 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = suseconds_t(ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void
@@ -277,6 +428,29 @@ ServeClient::stats()
     if (!StatsReply::decode(payload, reply))
         fatal("client: undecodable StatsReply payload");
     return reply;
+}
+
+bool
+ServeClient::ping(PingReply &out, std::string &error)
+{
+    MsgType type;
+    std::string payload;
+    if (!tryRoundTrip(MsgType::PingRequest, PingRequest{}.encode(), type,
+                      payload, error)) {
+        return false;
+    }
+    if (type == MsgType::ErrorReply) {
+        ErrorReply err;
+        if (!ErrorReply::decode(payload, err))
+            fatal("client: undecodable ErrorReply from server");
+        error = err.message;
+        return false;
+    }
+    if (type != MsgType::PingReply)
+        fatal("client: unexpected reply type to PingRequest");
+    if (!PingReply::decode(payload, out))
+        fatal("client: undecodable PingReply payload");
+    return true;
 }
 
 bool

@@ -48,6 +48,15 @@ class ServeClient
     static ServeClient tryConnect(const std::string &endpoint,
                                   std::string &error);
 
+    /**
+     * tryConnect with a bound on the connect phase itself: the socket
+     * is connected non-blocking and abandoned after `timeout_ms`. A
+     * Unix listener whose backlog is full fails immediately instead of
+     * blocking, so a flapping or wedged worker costs bounded time.
+     */
+    static ServeClient tryConnect(const std::string &endpoint,
+                                  unsigned timeout_ms, std::string &error);
+
     /** A disconnected client; connect() or tryConnect() to get one. */
     ServeClient() = default;
 
@@ -62,6 +71,15 @@ class ServeClient
 
     /** @return true while the socket is open and usable. */
     [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Bound every subsequent reply read to `ms` milliseconds
+     * (SO_RCVTIMEO); 0 restores blocking reads. An expired read
+     * surfaces as a Transport failure with the socket closed — the
+     * coordinator uses this to turn a silent worker stall into a typed,
+     * lease-sized failure instead of an indefinite hang.
+     */
+    void setRecvTimeout(unsigned ms);
 
     /**
      * Execute one point on the server. Server-side refusals (overload,
@@ -80,6 +98,13 @@ class ServeClient
     [[nodiscard]] CacheQueryReply cacheQuery(const CacheQueryRequest &req);
 
     [[nodiscard]] StatsReply stats();
+
+    /**
+     * Lightweight health probe. Non-fatal like the data plane: a broken
+     * connection returns false with the cause in `error` and the socket
+     * closed. Protocol violations still throw.
+     */
+    [[nodiscard]] bool ping(PingReply &out, std::string &error);
 
     /**
      * Request a graceful drain: the server finishes in-flight work,

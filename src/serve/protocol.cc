@@ -184,12 +184,14 @@ msgTypeValid(std::uint8_t t)
       case MsgType::CacheQueryRequest:
       case MsgType::StatsRequest:
       case MsgType::DrainRequest:
+      case MsgType::PingRequest:
       case MsgType::RunReply:
       case MsgType::SweepReply:
       case MsgType::CacheQueryReply:
       case MsgType::StatsReply:
       case MsgType::DrainReply:
       case MsgType::ErrorReply:
+      case MsgType::PingReply:
         return true;
     }
     return false;
@@ -391,6 +393,19 @@ DrainRequest::decode(std::string_view payload, DrainRequest &out)
     return payload.empty();
 }
 
+std::string
+PingRequest::encode() const
+{
+    return {};
+}
+
+bool
+PingRequest::decode(std::string_view payload, PingRequest &out)
+{
+    (void)out;
+    return payload.empty();
+}
+
 // --------------------------------------------------------------- replies
 
 std::string
@@ -552,6 +567,33 @@ ErrorReply::decode(std::string_view payload, ErrorReply &out)
         return false;
     out.code = static_cast<ServeError>(code);
     out.message = r.str();
+    return finish(r);
+}
+
+std::string
+PingReply::encode() const
+{
+    ByteWriter w;
+    w.u8(version);
+    w.u8(draining ? 1 : 0);
+    w.u64(queue_depth);
+    w.u64(stalled);
+    return w.take();
+}
+
+bool
+PingReply::decode(std::string_view payload, PingReply &out)
+{
+    ByteReader r(payload);
+    out.version = r.u8();
+    const std::uint8_t draining = r.u8();
+    // The draining flag is a strict boolean on the wire; any other
+    // value means the stream is not what it claims to be.
+    if (draining > 1)
+        return false;
+    out.draining = draining != 0;
+    out.queue_depth = r.u64();
+    out.stalled = r.u64();
     return finish(r);
 }
 

@@ -35,7 +35,7 @@ namespace thermctl::serve
 {
 
 /** Wire protocol revision; bump on any frame or payload layout change. */
-inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersion = 4;
 
 /** Frame magic preceding every message. */
 inline constexpr std::string_view kFrameMagic = "TSRV";
@@ -54,6 +54,7 @@ enum class MsgType : std::uint8_t
     CacheQueryRequest = 3, ///< is this point cached? (never simulates)
     StatsRequest = 4,      ///< server counters snapshot
     DrainRequest = 5,      ///< graceful shutdown: finish in-flight work
+    PingRequest = 6,       ///< lightweight health probe (wire v4)
 
     RunReply = 65,
     SweepReply = 66,
@@ -61,6 +62,7 @@ enum class MsgType : std::uint8_t
     StatsReply = 68,
     DrainReply = 69,
     ErrorReply = 70,
+    PingReply = 71,
 };
 
 /** @return true when `t` holds a defined MsgType value. */
@@ -231,6 +233,19 @@ struct DrainRequest
                                      DrainRequest &out);
 };
 
+/**
+ * Lightweight health probe (wire v4). Cheaper than StatsRequest: the
+ * reply is fixed-size, answered straight from the scheduler's counters,
+ * and safe to issue at high frequency — the coordinator's prober and
+ * external load balancers both key worker liveness off it.
+ */
+struct PingRequest
+{
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     PingRequest &out);
+};
+
 // --------------------------------------------------------------- replies
 
 /**
@@ -325,6 +340,19 @@ struct ErrorReply
     [[nodiscard]] std::string encode() const;
     [[nodiscard]] static bool decode(std::string_view payload,
                                      ErrorReply &out);
+};
+
+/** Health snapshot answering a PingRequest (wire v4, fixed-size). */
+struct PingReply
+{
+    std::uint8_t version = kWireVersion; ///< server's wire revision
+    bool draining = false;      ///< drain requested; refuse new work
+    std::uint64_t queue_depth = 0; ///< scheduler backlog right now
+    std::uint64_t stalled = 0;     ///< watchdog-failed dispatches so far
+
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static bool decode(std::string_view payload,
+                                     PingReply &out);
 };
 
 // ------------------------------------------------------------ framed I/O

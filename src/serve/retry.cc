@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 namespace thermctl::serve
@@ -59,12 +60,37 @@ RetryingClient::retryable(ServeError error)
            || error == ServeError::Overloaded;
 }
 
+namespace
+{
+
+/** "No deadline" sentinel for a remaining-budget value. */
+constexpr std::uint64_t kNoBudget =
+    std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
+
 bool
-RetryingClient::ensureConnected(std::string &error)
+RetryingClient::ensureConnected(std::uint64_t remaining_ms,
+                                std::string &error)
 {
     if (client_.connected())
         return true;
-    client_ = ServeClient::tryConnect(endpoint_, error);
+    if (remaining_ms == 0) {
+        // The budget is already gone: dialing now could only stretch
+        // the request past its deadline, so fail fast instead.
+        error = "deadline exhausted before reconnect";
+        return false;
+    }
+    std::uint64_t timeout = config_.connect_timeout_ms;
+    if (remaining_ms != kNoBudget)
+        timeout = timeout == 0
+                      ? remaining_ms
+                      : std::min<std::uint64_t>(timeout, remaining_ms);
+    if (timeout == 0)
+        client_ = ServeClient::tryConnect(endpoint_, error);
+    else
+        client_ = ServeClient::tryConnect(
+            endpoint_, static_cast<unsigned>(timeout), error);
     return client_.connected();
 }
 
@@ -104,12 +130,18 @@ RetryingClient::run(const RunRequest &req)
     config.seed = Rng(config_.seed).fork(calls_++).next();
     BackoffPolicy policy(config);
     const auto started = Clock::now();
+    auto remaining = [&]() -> std::uint64_t {
+        if (config.deadline_ms == 0)
+            return kNoBudget;
+        const std::uint64_t e = elapsedMs(started);
+        return e >= config.deadline_ms ? 0 : config.deadline_ms - e;
+    };
 
     PointReply last;
     for (;;) {
         attempts_total_++;
         std::string error;
-        if (ensureConnected(error)) {
+        if (ensureConnected(remaining(), error)) {
             last = client_.run(req);
         } else {
             last.error = ServeError::Transport;
@@ -141,12 +173,18 @@ RetryingClient::sweep(const SweepRequest &req)
     config.seed = Rng(config_.seed).fork(calls_++).next();
     BackoffPolicy policy(config);
     const auto started = Clock::now();
+    auto remaining = [&]() -> std::uint64_t {
+        if (config.deadline_ms == 0)
+            return kNoBudget;
+        const std::uint64_t e = elapsedMs(started);
+        return e >= config.deadline_ms ? 0 : config.deadline_ms - e;
+    };
 
     SweepReply last;
     for (;;) {
         attempts_total_++;
         std::string error;
-        if (ensureConnected(error)) {
+        if (ensureConnected(remaining(), error)) {
             last = client_.sweep(req);
         } else {
             last.points.clear();

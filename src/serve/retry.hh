@@ -48,6 +48,14 @@ struct BackoffConfig
     std::uint32_t max_attempts = 5; ///< total tries (1 = no retries)
     /** End-to-end budget across attempts + sleeps; 0 = unbounded. */
     std::uint64_t deadline_ms = 0;
+    /**
+     * Bound on each reconnect attempt. Reconnect time is charged
+     * against deadline_ms like everything else, so a flapping server
+     * cannot stretch one request with unbounded connect hangs; 0 falls
+     * back to a blocking connect (still capped by the deadline budget
+     * when one is set).
+     */
+    std::uint32_t connect_timeout_ms = 1000;
     std::uint64_t seed = 0x7e7217ULL; ///< jitter stream seed
 };
 
@@ -118,7 +126,12 @@ class RetryingClient
     /** @return true when `error` is worth another attempt. */
     static bool retryable(ServeError error);
 
-    bool ensureConnected(std::string &error);
+    /**
+     * Reconnect if needed, spending at most `remaining_ms` of the
+     * request's deadline budget (max() = no deadline). A zero remainder
+     * fails fast instead of dialing at all.
+     */
+    bool ensureConnected(std::uint64_t remaining_ms, std::string &error);
 
     std::string endpoint_;
     BackoffConfig config_;

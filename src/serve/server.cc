@@ -803,6 +803,10 @@ Server::executeFrame(const Work &work)
                 spec.measure_cycles = req.measure_cycles;
                 spec.ct_setpoint = req.ct_setpoint;
                 spec.sample_interval = req.sample_interval;
+                spec.num_cores = req.num_cores;
+                spec.coupling_r = req.coupling_r;
+                spec.chip_budget = req.chip_budget;
+                spec.budget_policy = req.budget_policy;
                 Slot slot;
                 try {
                     const ResolvedPoint pt =
@@ -865,6 +869,23 @@ Server::executeFrame(const Work &work)
             return badRequest("undecodable StatsRequest payload");
         done.frame = encodeFrame(MsgType::StatsReply,
                                  statsSnapshot().encode());
+        return done;
+      }
+
+      case MsgType::PingRequest: {
+        PingRequest req;
+        if (!PingRequest::decode(work.payload, req))
+            return badRequest("undecodable PingRequest payload");
+        // Answered straight from the scheduler counters: no simulation,
+        // no cache I/O, so probers can hammer this without perturbing
+        // the data plane.
+        const SchedulerStats s = sched_->stats();
+        PingReply reply;
+        reply.version = kWireVersion;
+        reply.draining = drainRequested();
+        reply.queue_depth = s.queue_depth;
+        reply.stalled = s.stalled;
+        done.frame = encodeFrame(MsgType::PingReply, reply.encode());
         return done;
       }
 

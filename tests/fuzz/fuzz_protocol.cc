@@ -66,7 +66,7 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     const std::string_view payload =
         thermctl::fuzz::asView(data + 1, size - 1);
 
-    switch (data[0] % 12) {
+    switch (data[0] % 14) {
       case 0:
         checkFrameHeader(payload);
         break;
@@ -102,6 +102,12 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
         break;
       case 11:
         checkMessage<ErrorReply>(payload);
+        break;
+      case 12:
+        checkMessage<PingRequest>(payload);
+        break;
+      case 13:
+        checkMessage<PingReply>(payload);
         break;
     }
     return 0;

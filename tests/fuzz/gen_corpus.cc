@@ -130,6 +130,11 @@ genProtocol(const fs::path &dir)
     error_reply.code = ServeError::Overloaded;
     error_reply.message = "queue full";
 
+    PingReply ping_reply;
+    ping_reply.draining = true;
+    ping_reply.queue_depth = 7;
+    ping_reply.stalled = 1;
+
     const std::string stats_frame =
         encodeFrame(MsgType::StatsRequest, StatsRequest{}.encode());
 
@@ -156,6 +161,10 @@ genProtocol(const fs::path &dir)
                      sel(10, drain_reply.encode()));
     ok &= writeBytes(dir / "seed_error_reply",
                      sel(11, error_reply.encode()));
+    ok &= writeBytes(dir / "seed_ping_request",
+                     sel(12, PingRequest{}.encode()));
+    ok &= writeBytes(dir / "seed_ping_reply",
+                     sel(13, ping_reply.encode()));
 
     // --- regressions.
     // Allocation bomb: a tiny SweepRequest payload claiming 2^20
@@ -251,6 +260,23 @@ genProtocol(const fs::path &dir)
         ok &= writeBytes(dir / "regress_frame_header_truncated",
                          sel(0, stats_frame.substr(
                                     0, kFrameHeaderBytes / 2)));
+    }
+    // Ping hostility (wire v4): a PingRequest with trailing bytes and a
+    // PingReply with a non-boolean draining byte or a torn tail must
+    // each fail decode — health probes are the first thing a coordinator
+    // sends a worker, so their decoders meet hostile peers first.
+    {
+        ok &= writeBytes(dir / "regress_ping_request_trailing",
+                         sel(12, std::string("\x01", 1)));
+    }
+    {
+        std::string bad = ping_reply.encode();
+        bad[1] = '\x02'; // draining must be strictly 0/1
+        ok &= writeBytes(dir / "regress_ping_reply_bad_bool",
+                         sel(13, bad));
+        const std::string full = ping_reply.encode();
+        ok &= writeBytes(dir / "regress_ping_reply_truncated",
+                         sel(13, full.substr(0, full.size() / 2)));
     }
     return ok;
 }

@@ -11,7 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/retry.hh"
@@ -36,6 +44,66 @@ drainSleeps(const BackoffConfig &config, std::uint32_t hint = 0)
     }
     return sleeps;
 }
+
+/**
+ * A TCP listener whose accept backlog is pre-filled and never drained:
+ * further connects stay pending until the dialer's own timeout fires.
+ * Reproduces a worker whose accept queue hung (flapping restart, SYN
+ * backlog full) without any server code.
+ */
+struct HungListener
+{
+    int fd = -1;
+    int port = 0;
+    std::vector<int> fillers;
+
+    HungListener()
+    {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr))
+                != 0
+            || ::listen(fd, /*backlog=*/1) != 0)
+            return;
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len)
+            != 0)
+            return;
+        port = ntohs(addr.sin_port);
+
+        // Fill the accept backlog so further connects stay pending.
+        for (int i = 0; i < 4; ++i) {
+            const int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (cfd < 0)
+                continue;
+            const int flags = ::fcntl(cfd, F_GETFL, 0);
+            ::fcntl(cfd, F_SETFL, flags | O_NONBLOCK);
+            (void)::connect(cfd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr));
+            fillers.push_back(cfd);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    ~HungListener()
+    {
+        for (int cfd : fillers)
+            ::close(cfd);
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    std::string
+    endpoint() const
+    {
+        return "tcp:127.0.0.1:" + std::to_string(port);
+    }
+};
 
 } // namespace
 
@@ -212,4 +280,68 @@ TEST(RetryingClient, DeadlineBudgetBoundsTotalWallTime)
     // for slow CI but catch unbounded retrying outright.
     EXPECT_LT(wall.count(), 2000);
     EXPECT_GT(client.attemptsTotal(), 1u);
+}
+
+TEST(RetryingClient, ReconnectTimeIsChargedAgainstTheDeadline)
+{
+    // Regression: ensureConnected() used to dial with an unbounded
+    // blocking connect, and the deadline was only consulted *after*
+    // each attempt — a worker whose accept queue hung could stretch
+    // one request far past its budget. Demand the deadline holds.
+    HungListener listener;
+    ASSERT_GT(listener.port, 0);
+
+    BackoffConfig config;
+    config.base_ms = 10;
+    config.cap_ms = 20;
+    config.max_attempts = 1000;
+    config.deadline_ms = 300;
+    config.connect_timeout_ms = 100; // each dial bounded well below
+    RetryingClient client(listener.endpoint(), config);
+
+    RunRequest req;
+    req.point.benchmark = "186.crafty";
+    req.point.policy = "none";
+    const auto started = std::chrono::steady_clock::now();
+    const PointReply reply = client.run(req);
+    const auto wall =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started);
+
+    // Typed failure, and the whole call (connect hangs included) fits
+    // the budget with slack — not one unbounded connect per retry.
+    EXPECT_TRUE(reply.error == ServeError::DeadlineExceeded
+                || reply.error == ServeError::Transport)
+        << serveErrorName(reply.error);
+    EXPECT_LT(wall.count(), 3000);
+    EXPECT_GT(client.attemptsTotal(), 1u);
+}
+
+TEST(RetryingClient, DialTimeoutIsCappedByRemainingDeadline)
+{
+    // A connect_timeout_ms far above the deadline must not win: the
+    // dial is bounded by min(connect_timeout, remaining budget), so a
+    // 100ms deadline caps a nominal 5-second dial at ~100ms.
+    HungListener listener;
+    ASSERT_GT(listener.port, 0);
+
+    BackoffConfig config;
+    config.max_attempts = 1;
+    config.deadline_ms = 100;
+    config.connect_timeout_ms = 5000;
+    RetryingClient client(listener.endpoint(), config);
+
+    RunRequest req;
+    req.point.benchmark = "186.crafty";
+    req.point.policy = "none";
+    const auto started = std::chrono::steady_clock::now();
+    const PointReply reply = client.run(req);
+    const auto wall =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started);
+    EXPECT_EQ(reply.error, ServeError::Transport);
+    EXPECT_NE(reply.message.find("timed out"), std::string::npos)
+        << reply.message;
+    // Far below the nominal 5s connect timeout; generous CI slack.
+    EXPECT_LT(wall.count(), 2000);
 }

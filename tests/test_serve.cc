@@ -1361,3 +1361,142 @@ TEST(ServeConnect, NoRetryFactoryReportsTransportWithoutSleeping)
     EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
     EXPECT_EQ(client->attemptsTotal(), 1u);
 }
+
+// ------------------------------------------------------- ping (wire v4)
+
+TEST(ServeProtocol, PingFramesRoundTrip)
+{
+    EXPECT_TRUE(msgTypeValid(
+        static_cast<std::uint8_t>(MsgType::PingRequest)));
+    EXPECT_TRUE(
+        msgTypeValid(static_cast<std::uint8_t>(MsgType::PingReply)));
+
+    PingRequest req;
+    PingRequest req_out;
+    EXPECT_TRUE(req.encode().empty());
+    EXPECT_TRUE(PingRequest::decode(req.encode(), req_out));
+
+    PingReply pong;
+    pong.draining = true;
+    pong.queue_depth = 42;
+    pong.stalled = 3;
+    PingReply out;
+    ASSERT_TRUE(PingReply::decode(pong.encode(), out));
+    EXPECT_EQ(out.version, kWireVersion);
+    EXPECT_TRUE(out.draining);
+    EXPECT_EQ(out.queue_depth, 42u);
+    EXPECT_EQ(out.stalled, 3u);
+    // Canonical form: decode -> encode is bit-stable.
+    EXPECT_EQ(out.encode(), pong.encode());
+}
+
+TEST(ServeProtocol, PingDecodersRejectHostileBytes)
+{
+    // A PingRequest carries no payload; trailing bytes are an error,
+    // not ignorable slack (strict decoders keep the fuzz surface flat).
+    PingRequest req_out;
+    EXPECT_FALSE(PingRequest::decode(std::string_view("\x00", 1),
+                                     req_out));
+    EXPECT_FALSE(PingRequest::decode("garbage", req_out));
+
+    PingReply pong;
+    pong.queue_depth = 7;
+    const std::string bytes = pong.encode();
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+        PingReply out;
+        EXPECT_FALSE(PingReply::decode(bytes.substr(0, n), out))
+            << "accepted truncated PingReply of " << n << " bytes";
+    }
+    // Non-boolean draining byte must be rejected outright.
+    std::string bad = bytes;
+    bad[1] = '\x02';
+    PingReply out;
+    EXPECT_FALSE(PingReply::decode(bad, out));
+    // Trailing garbage after a well-formed reply is rejected too.
+    PingReply trail_out;
+    EXPECT_FALSE(PingReply::decode(bytes + "x", trail_out));
+}
+
+TEST(ServeServer, PingReportsVersionDrainAndQueueDepth)
+{
+    const ServerOptions opts = fastServerOptions(16);
+    Server server(opts);
+    server.start();
+
+    ServeClient client = ServeClient::connectUnix(opts.unix_path);
+    PingReply pong;
+    std::string error;
+    ASSERT_TRUE(client.ping(pong, error)) << error;
+    EXPECT_EQ(pong.version, kWireVersion);
+    EXPECT_FALSE(pong.draining);
+    EXPECT_EQ(pong.stalled, 0u);
+
+    // Park a request on a paused scheduler: the probe must see the
+    // queue depth without getting stuck behind the parked work (pings
+    // answer from connection threads, not scheduler workers).
+    server.scheduler().pauseDispatch();
+    std::thread parked([&] {
+        ServeClient c = ServeClient::connectUnix(opts.unix_path);
+        RunRequest req;
+        req.point = fastPoint("179.art", "PI");
+        (void)c.run(req);
+    });
+    ASSERT_TRUE(waitFor(
+        [&] { return server.scheduler().stats().queue_depth > 0; }));
+    ASSERT_TRUE(client.ping(pong, error)) << error;
+    EXPECT_GE(pong.queue_depth, 1u);
+    server.scheduler().resumeDispatch();
+    parked.join();
+
+    // Once drain starts the server stops reading and closes idle
+    // connections, so a probe fails fast with a transport error rather
+    // than hanging — exactly the signal a coordinator quarantines on.
+    {
+        ServeClient c = ServeClient::connectUnix(opts.unix_path);
+        (void)c.drain();
+    }
+    ASSERT_TRUE(waitFor([&] { return server.drainRequested(); }));
+    EXPECT_FALSE(client.ping(pong, error));
+    EXPECT_FALSE(error.empty());
+    server.shutdown();
+}
+
+TEST(ServeServer, SweepCarriesMulticoreKnobsToEveryPoint)
+{
+    // Regression: the server's SweepRequest fan-out dropped the
+    // multicore knobs (num_cores/coupling_r/chip_budget/budget_policy),
+    // silently simulating single-core points. The sweep path and the
+    // run path must agree bit-for-bit on a multicore spec.
+    const ServerOptions opts = fastServerOptions(17);
+    Server server(opts);
+    server.start();
+
+    PointSpec spec = fastPoint("186.crafty", "PI");
+    spec.num_cores = 2;
+    spec.chip_budget = 45.0;
+    spec.budget_policy = 1; // demand-proportional
+
+    ServeClient client = ServeClient::connectUnix(opts.unix_path);
+    RunRequest run_req;
+    run_req.point = spec;
+    const PointReply via_run = client.run(run_req);
+    ASSERT_EQ(via_run.error, ServeError::None) << via_run.message;
+
+    SweepRequest sweep_req;
+    sweep_req.benchmarks = {spec.benchmark};
+    sweep_req.policies = {spec.policy};
+    sweep_req.warmup_cycles = spec.warmup_cycles;
+    sweep_req.measure_cycles = spec.measure_cycles;
+    sweep_req.num_cores = spec.num_cores;
+    sweep_req.coupling_r = spec.coupling_r;
+    sweep_req.chip_budget = spec.chip_budget;
+    sweep_req.budget_policy = spec.budget_policy;
+    const SweepReply via_sweep = client.sweep(sweep_req);
+    ASSERT_EQ(via_sweep.points.size(), 1u);
+    ASSERT_EQ(via_sweep.points[0].error, ServeError::None)
+        << via_sweep.points[0].message;
+
+    EXPECT_EQ(serializeRunResult(via_sweep.points[0].result),
+              serializeRunResult(via_run.result));
+    server.shutdown();
+}

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -446,6 +447,162 @@ TEST(SweepCacheRecover, QuarantinesTornEntriesAndRemovesTemps)
     const CacheRecoveryStats none =
         sweepCacheRecover((cache.path() / "nope").string());
     EXPECT_EQ(none.scanned, 0u);
+}
+
+TEST(SweepCacheRecover, OrphanedTempsFromKilledPublisherAreSwept)
+{
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+    const SweepEngine engine(opts);
+
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    spec.workload(specProfile("186.crafty"));
+    ASSERT_EQ(engine.run(spec).simulated(), 1u);
+
+    std::filesystem::path entry;
+    for (const auto &it :
+         std::filesystem::directory_iterator(cache.path())) {
+        if (it.path().extension() == ".run")
+            entry = it.path();
+    }
+    ASSERT_FALSE(entry.empty());
+
+    // A publisher killed between write and rename leaves a temp with
+    // COMPLETE valid bytes next to the live entry. It must still be
+    // removed — a temp is never a source of truth — and the published
+    // entry it shadows must be left alone.
+    std::filesystem::copy_file(
+        entry, std::filesystem::path(entry.string() + ".tmp.cafe1234"));
+    // A publisher killed mid-write for a digest that never published.
+    {
+        std::ofstream tmp(cache.path()
+                          / "fedcba9876543210.run.tmp.00000001");
+        tmp << "torn mid-wri";
+    }
+    // ".tmp." anywhere in the name marks a temp, extension or not.
+    {
+        std::ofstream tmp(cache.path() / "stray.tmp.1");
+        tmp << "x";
+    }
+
+    const CacheRecoveryStats stats =
+        sweepCacheRecover(cache.path().string());
+    EXPECT_EQ(stats.tmp_removed, 3u);
+    EXPECT_EQ(stats.scanned, 1u);
+    EXPECT_EQ(stats.quarantined, 0u);
+
+    // Only the published entry remains, and it still serves a hit.
+    std::size_t remaining = 0;
+    for (const auto &it :
+         std::filesystem::directory_iterator(cache.path())) {
+        (void)it;
+        ++remaining;
+    }
+    EXPECT_EQ(remaining, 1u);
+    EXPECT_EQ(engine.run(spec).cacheHits(), 1u);
+}
+
+TEST(SweepCacheRecover, ConcurrentPublishersRacingSameKeysStayUntorn)
+{
+    // Two engines (standing in for two separate processes) publish the
+    // same 3x3 grid into one cache directory at the same time. The
+    // write-to-temp + rename discipline must never expose a torn
+    // entry: whoever loses each rename race overwrites an identical
+    // file. Afterwards the recovery scan finds nothing to heal and the
+    // cache serves every point bit-identical to an uncached run.
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+
+    SweepResults a, b;
+    std::thread ta([&] { a = SweepEngine(opts).run(smallGrid()); });
+    std::thread tb([&] { b = SweepEngine(opts).run(smallGrid()); });
+    ta.join();
+    tb.join();
+    ASSERT_EQ(a.size(), 9u);
+    ASSERT_EQ(b.size(), 9u);
+    EXPECT_EQ(resultBytes(a), resultBytes(b));
+
+    const CacheRecoveryStats stats =
+        sweepCacheRecover(cache.path().string());
+    EXPECT_EQ(stats.scanned, 9u);
+    EXPECT_EQ(stats.quarantined, 0u);
+    EXPECT_EQ(stats.tmp_removed, 0u);
+
+    const SweepResults warm = SweepEngine(opts).run(smallGrid());
+    EXPECT_EQ(warm.cacheHits(), 9u);
+    EXPECT_EQ(warm.simulated(), 0u);
+    EXPECT_EQ(resultBytes(warm), resultBytes(a));
+
+    SweepOptions uncached;
+    uncached.jobs = 1;
+    EXPECT_EQ(resultBytes(SweepEngine(uncached).run(smallGrid())),
+              resultBytes(a));
+}
+
+TEST(SweepCacheRecover, SecondStartupRescanLeavesQuarantineAlone)
+{
+    TempDir cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.use_cache = true;
+    opts.cache_dir = cache.path().string();
+    const SweepEngine engine(opts);
+
+    SweepSpec spec;
+    spec.protocol(shortProtocol());
+    spec.workload(specProfile("164.gzip"));
+    ASSERT_EQ(engine.run(spec).simulated(), 1u);
+
+    std::filesystem::path entry;
+    for (const auto &it :
+         std::filesystem::directory_iterator(cache.path())) {
+        if (it.path().extension() == ".run")
+            entry = it.path();
+    }
+    ASSERT_FALSE(entry.empty());
+    const std::filesystem::path aside(entry.string() + ".corrupt");
+
+    // First startup: a torn entry is moved aside for post-mortem.
+    std::filesystem::resize_file(
+        entry, std::filesystem::file_size(entry) / 2);
+    const auto torn_size = std::filesystem::file_size(entry);
+    const CacheRecoveryStats first =
+        sweepCacheRecover(cache.path().string());
+    EXPECT_EQ(first.quarantined, 1u);
+    ASSERT_TRUE(std::filesystem::exists(aside));
+    EXPECT_FALSE(std::filesystem::exists(entry));
+
+    // Second startup: the .corrupt file is retained evidence, not a
+    // cache entry — it is neither re-scanned nor re-quarantined nor
+    // deleted, and its bytes are untouched.
+    const CacheRecoveryStats second =
+        sweepCacheRecover(cache.path().string());
+    EXPECT_EQ(second.scanned, 0u);
+    EXPECT_EQ(second.quarantined, 0u);
+    EXPECT_EQ(second.tmp_removed, 0u);
+    ASSERT_TRUE(std::filesystem::exists(aside));
+    EXPECT_EQ(std::filesystem::file_size(aside), torn_size);
+
+    // Re-simulation republishes; tearing the fresh entry and
+    // recovering again re-quarantines onto the same .corrupt name
+    // (latest evidence wins) without tripping over the old file.
+    ASSERT_EQ(engine.run(spec).simulated(), 1u);
+    ASSERT_TRUE(std::filesystem::exists(entry));
+    std::filesystem::resize_file(entry, 3);
+    const CacheRecoveryStats third =
+        sweepCacheRecover(cache.path().string());
+    EXPECT_EQ(third.scanned, 1u);
+    EXPECT_EQ(third.quarantined, 1u);
+    ASSERT_TRUE(std::filesystem::exists(aside));
+    EXPECT_EQ(std::filesystem::file_size(aside), 3u);
+    EXPECT_FALSE(std::filesystem::exists(entry));
 }
 
 TEST(SweepCacheLookup, ReadOnlyProbeDoesNotQuarantine)

@@ -6,6 +6,10 @@
  *   thermctl_loadgen [options]
  *     --socket ENDPOINT  "unix:PATH", "tcp:HOST:PORT", or a bare socket
  *                        path (default: the daemon's default socket)
+ *     --connect ENDPOINT same as --socket but meant to be repeated: with
+ *                        several endpoints the connection pool is dealt
+ *                        round-robin across them, so one loadgen drives
+ *                        a whole cluster of serve nodes
  *     --rate R           target arrivals per second (default 50)
  *     --conns N          persistent connections (default 4)
  *     --duration S       seconds of arrivals (default 10)
@@ -39,9 +43,12 @@
  * touching random cache lines, calibrated against the wall clock at
  * startup so the knob is in microseconds, not iterations.
  *
- * Reports throughput and p50/p90/p99/p999 latency; exits 0 only when
- * every scheduled request completed without transport or protocol
- * errors (server refusals are reported but also exit nonzero).
+ * Reports throughput and p50/p90/p99/p999 latency, overall and broken
+ * down per request type (run/cache/sweep — mixes have very different
+ * cost per type, so one aggregate histogram hides the tail that
+ * matters); exits 0 only when every scheduled request completed without
+ * transport or protocol errors (server refusals are reported but also
+ * exit nonzero).
  */
 
 #include <arpa/inet.h>
@@ -82,7 +89,8 @@ void
 usage()
 {
     std::cout <<
-        "usage: thermctl_loadgen [--socket ENDPOINT] [--rate R]\n"
+        "usage: thermctl_loadgen [--socket ENDPOINT]\n"
+        "                        [--connect ENDPOINT ...] [--rate R]\n"
         "                        [--conns N] [--duration S] [--seed S]\n"
         "                        [--mix run=W,cache=W,sweep=W]\n"
         "                        [--bench NAME] [--policy NAME]\n"
@@ -230,6 +238,7 @@ struct Arrival
 struct Conn
 {
     int fd = -1;
+    std::string endpoint; ///< where this connection (re)dials
     FrameAssembler assembler;
     std::string wbuf;
     std::size_t woff = 0;
@@ -261,6 +270,22 @@ expectedReply(MsgType req)
         return MsgType::ErrorReply;
     }
 }
+
+/** Stable index per request type for the latency breakdown. */
+std::size_t
+typeIndex(MsgType req)
+{
+    switch (req) {
+      case MsgType::RunRequest:
+        return 0;
+      case MsgType::CacheQueryRequest:
+        return 1;
+      default:
+        return 2; // SweepRequest
+    }
+}
+
+constexpr const char *kTypeNames[3] = {"run", "cache", "sweep"};
 
 double
 quantile(const std::vector<double> &sorted, double q)
@@ -313,7 +338,7 @@ parseMix(const std::string &spec, double &run_w, double &cache_w,
 int
 main(int argc, char **argv)
 {
-    std::string endpoint;
+    std::vector<std::string> endpoints;
     double rate = 50.0;
     unsigned conns = 4;
     double duration_s = 10.0;
@@ -334,8 +359,8 @@ main(int argc, char **argv)
                     fatal("missing value for ", arg);
                 return argv[++i];
             };
-            if (arg == "--socket") {
-                endpoint = next();
+            if (arg == "--socket" || arg == "--connect") {
+                endpoints.push_back(next());
             } else if (arg == "--rate") {
                 rate = std::stod(next());
                 if (rate <= 0.0)
@@ -380,8 +405,8 @@ main(int argc, char **argv)
                 fatal("unknown option ", arg);
             }
         }
-        if (endpoint.empty())
-            endpoint = defaultSocketPath();
+        if (endpoints.empty())
+            endpoints = {defaultSocketPath()};
 
         double run_w = 0, cache_w = 0, sweep_w = 0;
         parseMix(mix, run_w, cache_w, sweep_w);
@@ -446,14 +471,19 @@ main(int argc, char **argv)
             return cache_frame;
         };
 
-        // ---- dial the connection pool
+        // ---- dial the connection pool, dealt round-robin across the
+        // endpoints so a multi-node cluster sees an even share of
+        // connections (and each connection redials its own node).
         std::vector<Conn> pool(conns);
-        for (auto &c : pool)
-            c.fd = dial(endpoint);
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            pool[i].endpoint = endpoints[i % endpoints.size()];
+            pool[i].fd = dial(pool[i].endpoint);
+        }
 
         Tally tally;
         std::vector<double> latencies_ms;
         latencies_ms.reserve(schedule.size());
+        std::vector<double> latencies_by_type_ms[3];
 
         auto kick = [&](Conn &c) {
             // Start the next queued request if the line is free.
@@ -480,7 +510,7 @@ main(int argc, char **argv)
             c.woff = 0;
             c.assembler = FrameAssembler();
             ::close(c.fd);
-            c.fd = dial(endpoint, /*must_succeed=*/false);
+            c.fd = dial(c.endpoint, /*must_succeed=*/false);
             if (c.fd < 0) {
                 std::cerr << "thermctl_loadgen: reconnect failed: "
                           << std::strerror(errno)
@@ -502,7 +532,7 @@ main(int argc, char **argv)
                    && schedule[next_arrival].due_s <= now_s) {
                 Conn &c = pool[rr++ % pool.size()];
                 if (c.fd < 0)
-                    c.fd = dial(endpoint, /*must_succeed=*/false);
+                    c.fd = dial(c.endpoint, /*must_succeed=*/false);
                 if (c.fd < 0) {
                     // Still unreachable: this arrival is a transport
                     // failure, charged now (open loop — it was due).
@@ -647,6 +677,8 @@ main(int argc, char **argv)
                     else
                         tally.ok++;
                     latencies_ms.push_back(lat_ms);
+                    latencies_by_type_ms[typeIndex(a.type)].push_back(
+                        lat_ms);
                     fake.run(fake_work_us);
                     kick(c);
                 }
@@ -687,6 +719,16 @@ main(int argc, char **argv)
                   << "latency p90  : " << p90 << " ms\n"
                   << "latency p99  : " << p99 << " ms\n"
                   << "latency p999 : " << p999 << " ms\n";
+        for (std::size_t ti = 0; ti < 3; ++ti) {
+            auto &v = latencies_by_type_ms[ti];
+            if (v.empty())
+                continue;
+            std::sort(v.begin(), v.end());
+            std::cout << "latency[" << kTypeNames[ti]
+                      << "] : n=" << v.size() << " p50="
+                      << quantile(v, 0.50) << " p90=" << quantile(v, 0.90)
+                      << " p99=" << quantile(v, 0.99) << " ms\n";
+        }
 
         if (!json_path.empty()) {
             std::ofstream out(json_path);
@@ -696,6 +738,7 @@ main(int argc, char **argv)
                 << "  \"benchmark\": \"serve_loadgen\",\n"
                 << "  \"unix_time\": " << std::time(nullptr) << ",\n"
                 << "  \"config\": {\n"
+                << "    \"endpoints\": " << endpoints.size() << ",\n"
                 << "    \"rate\": " << rate << ",\n"
                 << "    \"conns\": " << conns << ",\n"
                 << "    \"duration_s\": " << duration_s << ",\n"
@@ -727,7 +770,26 @@ main(int argc, char **argv)
                 << "    \"p99\": " << p99 << ",\n"
                 << "    \"p999\": " << p999 << ",\n"
                 << "    \"max\": " << max_ms << "\n"
-                << "  }\n"
+                << "  },\n"
+                << "  \"latency_by_type_ms\": {\n";
+            for (std::size_t ti = 0; ti < 3; ++ti) {
+                const auto &v = latencies_by_type_ms[ti]; // sorted above
+                double tmean = 0.0;
+                for (double x : v)
+                    tmean += x;
+                if (!v.empty())
+                    tmean /= double(v.size());
+                out << "    \"" << kTypeNames[ti] << "\": {\n"
+                    << "      \"count\": " << v.size() << ",\n"
+                    << "      \"mean\": " << tmean << ",\n"
+                    << "      \"p50\": " << quantile(v, 0.50) << ",\n"
+                    << "      \"p90\": " << quantile(v, 0.90) << ",\n"
+                    << "      \"p99\": " << quantile(v, 0.99) << ",\n"
+                    << "      \"max\": " << (v.empty() ? 0.0 : v.back())
+                    << "\n"
+                    << "    }" << (ti + 1 < 3 ? "," : "") << "\n";
+            }
+            out << "  }\n"
                 << "}\n";
         }
 
